@@ -1,0 +1,39 @@
+package biza
+
+// Ablation helpers exercised by the root benchmarks: they drive the
+// design-choice toggles DESIGN.md calls out (channel detection under
+// shuffled mappings).
+
+import (
+	"biza/internal/blockdev"
+	"biza/internal/core"
+	"biza/internal/sim"
+	"biza/internal/stack"
+)
+
+// detectorCorrections churns a BIZA array built on aged devices (half the
+// zones remapped away from round-robin) until GC runs, and reports how
+// many zone-channel guesses the vote-based detector fixed.
+func detectorCorrections() uint64 {
+	z := stack.BenchZNS(48)
+	z.ZoneBlocks = 512
+	z.ZRWABlocks = 64
+	z.ShuffleFraction = 0.5
+	ccfg := core.DefaultConfig(z.NumZones)
+	p, err := stack.New(stack.KindBIZA, stack.Options{ZNS: z, BIZAConfig: &ccfg, Seed: 31})
+	if err != nil {
+		panic(err)
+	}
+	rng := sim.NewRNG(7)
+	span := p.Dev.Blocks() / 2
+	outstanding := 0
+	for i := 0; i < int(span)*5; i++ {
+		outstanding++
+		p.Dev.Write(rng.Int63n(span), 1, nil, func(blockdev.WriteResult) { outstanding-- })
+		if outstanding >= 32 {
+			p.Eng.Run()
+		}
+	}
+	p.Eng.Run()
+	return p.BIZA.DetectCorrections()
+}

@@ -1,0 +1,185 @@
+package biza
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§5). Each iteration regenerates the artifact at a reduced scale and
+// reports headline values as custom metrics, so `go test -bench=.` gives a
+// quick health check of every experiment; cmd/bizabench runs the full
+// scale used for EXPERIMENTS.md.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"biza/internal/bench"
+)
+
+func benchScale() bench.Scale {
+	s := bench.QuickScale()
+	s.TraceOps = 6000
+	return s
+}
+
+// cell parses a numeric cell, tolerating the "a(b+c)" composite format.
+func cell(b *testing.B, s string) float64 {
+	b.Helper()
+	if i := strings.IndexByte(s, '('); i > 0 {
+		s = s[:i]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+func runExp(b *testing.B, id string) []*bench.Table {
+	b.Helper()
+	fn, ok := bench.Experiments[id]
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var tabs []*bench.Table
+	for i := 0; i < b.N; i++ {
+		tabs = fn(benchScale())
+	}
+	return tabs
+}
+
+func BenchmarkTable2Presets(b *testing.B) {
+	tabs := runExp(b, "table2")
+	if len(tabs[0].Rows) != 4 {
+		b.Fatal("table2 incomplete")
+	}
+}
+
+func BenchmarkTable3ZonePlacement(b *testing.B) {
+	tabs := runExp(b, "table3")
+	rows := tabs[0].Rows
+	b.ReportMetric(cell(b, rows[0][1]), "single_MBps")
+	b.ReportMetric(cell(b, rows[1][1]), "samechan_MBps")
+	b.ReportMetric(cell(b, rows[2][1]), "diffchan_MBps")
+}
+
+func BenchmarkTable6Workloads(b *testing.B) {
+	tabs := runExp(b, "table6")
+	if len(tabs[0].Rows) != 10 {
+		b.Fatal("table6 incomplete")
+	}
+}
+
+func BenchmarkFig4ReuseDistanceCDF(b *testing.B) {
+	tabs := runExp(b, "fig4")
+	// Report the CDF at 14 MB (the paper's ~17% anchor).
+	for _, r := range tabs[0].Rows {
+		if r[0] == "14MB" {
+			b.ReportMetric(cell(b, r[1]), "cdf_at_14MB")
+		}
+	}
+}
+
+func BenchmarkFig5IntraZone(b *testing.B) {
+	tabs := runExp(b, "fig5")
+	// Retained fraction at 64 KiB.
+	for _, r := range tabs[0].Rows {
+		if r[0] == "64" {
+			b.ReportMetric(cell(b, r[3]), "depth1_retained")
+		}
+	}
+}
+
+func BenchmarkFig10Write(b *testing.B) {
+	tabs := runExp(b, "fig10")
+	rows := tabs[0].Rows
+	biza := cell(b, rows[0][2])
+	dzr := cell(b, rows[1][2])
+	b.ReportMetric(biza, "BIZA_seq64K_MBps")
+	b.ReportMetric(dzr, "dmzapRAIZN_seq64K_MBps")
+	if dzr > 0 {
+		b.ReportMetric(biza/dzr, "speedup_x")
+	}
+}
+
+func BenchmarkFig11Read(b *testing.B) {
+	tabs := runExp(b, "fig11")
+	b.ReportMetric(cell(b, tabs[0].Rows[0][2]), "BIZA_seqread64K_MBps")
+}
+
+func BenchmarkFig12Traces(b *testing.B) {
+	tabs := runExp(b, "fig12")
+	// casa row: BIZA vs dmzap+RAIZN.
+	r := tabs[0].Rows[0]
+	b.ReportMetric(cell(b, r[1]), "BIZA_casa_MBps")
+	b.ReportMetric(cell(b, r[2]), "dmzapRAIZN_casa_MBps")
+}
+
+func BenchmarkFig13Filebench(b *testing.B) {
+	tabs := runExp(b, "fig13a")
+	b.ReportMetric(cell(b, tabs[0].Rows[0][5]), "randomwrite_speedup_x")
+}
+
+func BenchmarkFig13DBBench(b *testing.B) {
+	tabs := runExp(b, "fig13b")
+	b.ReportMetric(cell(b, tabs[0].Rows[0][5]), "fillseq_speedup_x")
+}
+
+func BenchmarkFig14WriteAmp(b *testing.B) {
+	tabs := runExp(b, "fig14")
+	r := tabs[0].Rows[0] // casa
+	biza := cell(b, r[1])
+	mdz := cell(b, r[4])
+	b.ReportMetric(biza, "BIZA_casa_WA")
+	b.ReportMetric(mdz, "mdraidDmzap_casa_WA")
+	if biza > 0 {
+		b.ReportMetric((mdz-biza)/mdz*100, "reduction_pct")
+	}
+}
+
+func BenchmarkFig15GCTail(b *testing.B) {
+	tabs := runExp(b, "fig15")
+	// BIZA vs BIZAw/oAvoid p99.99 at depth 1, 64 KiB.
+	var bz, noavoid float64
+	for _, r := range tabs[0].Rows {
+		if r[1] == "1" && r[2] == "64" {
+			switch r[0] {
+			case "BIZA":
+				bz = cell(b, r[4])
+			case "BIZAw/oAvoid":
+				noavoid = cell(b, r[4])
+			}
+		}
+	}
+	b.ReportMetric(bz, "BIZA_p9999_us")
+	b.ReportMetric(noavoid, "noAvoid_p9999_us")
+}
+
+func BenchmarkFig16ZRWASweep(b *testing.B) {
+	tabs := runExp(b, "fig16")
+	rows := tabs[0].Rows
+	small := cell(b, rows[0][1]) + cell(b, rows[0][2])                     // 4 KiB ZRWA, casa
+	large := cell(b, rows[len(rows)-1][1]) + cell(b, rows[len(rows)-1][2]) // 1 MiB
+	b.ReportMetric(small, "casa_writes_zrwa4K")
+	b.ReportMetric(large, "casa_writes_zrwa1M")
+}
+
+func BenchmarkFig17CPU(b *testing.B) {
+	tabs := runExp(b, "fig17")
+	for _, r := range tabs[0].Rows {
+		if r[0] == "dmzap+RAIZN" && r[1] == "64" {
+			b.ReportMetric(cell(b, r[3]), "dmzap_cpu_pct")
+		}
+		if r[0] == "BIZA" && r[1] == "64" {
+			b.ReportMetric(cell(b, r[8]), "BIZA_cpu_per_GBps")
+		}
+	}
+}
+
+// BenchmarkAblationChannelDetect measures the §4.3 detector on aged
+// (shuffled-mapping) devices: corrections should accumulate.
+func BenchmarkAblationChannelDetect(b *testing.B) {
+	var corrections uint64
+	for i := 0; i < b.N; i++ {
+		corrections = detectorCorrections()
+	}
+	b.ReportMetric(float64(corrections), "corrections")
+}

@@ -1,0 +1,228 @@
+// Package biza is a research-grade reimplementation of BIZA (SOSP '24): a
+// self-governing block-interface all-flash array over ZNS SSDs, together
+// with the baselines the paper evaluates against (RAIZN, dm-zap, mdraid,
+// conventional SSDs) on a deterministic discrete-event-simulated storage
+// substrate.
+//
+// Everything runs in virtual time: an Array owns a simulation engine, and
+// asynchronous operations complete as the engine runs. The synchronous
+// helpers (WriteSync, ReadSync) drive the engine for you:
+//
+//	arr, _ := biza.New(biza.Options{})
+//	if err := arr.WriteSync(0, 8, payload); err != nil { ... }
+//	data, _ := arr.ReadSync(0, 8)
+//	fmt.Println(arr.WriteAmp())
+//
+// The internal packages implement the paper's full system inventory — the
+// ZNS SSD simulator with ZRWA and hidden channel mappings, the sliding
+// window scheduler, the ghost-cache zone-group selector, the
+// guess-and-verify channel detector, host GC with BUSY-channel avoidance,
+// OOB crash recovery — plus every baseline and the complete §5 experiment
+// harness (see internal/bench and cmd/bizabench).
+package biza
+
+import (
+	"errors"
+
+	"biza/internal/blockdev"
+	"biza/internal/core"
+	"biza/internal/ftl"
+	"biza/internal/kvstore"
+	"biza/internal/lsfs"
+	"biza/internal/metrics"
+	"biza/internal/sim"
+	"biza/internal/stack"
+	"biza/internal/zns"
+)
+
+// Kind selects a platform implementation.
+type Kind = stack.Kind
+
+// Platform kinds.
+const (
+	// BIZA is the paper's engine with all mechanisms enabled.
+	BIZA = stack.KindBIZA
+	// BIZANoSelector disables the §4.2 zone group selector (ablation).
+	BIZANoSelector = stack.KindBIZANoSel
+	// BIZANoAvoid disables the §4.3 GC avoidance (ablation).
+	BIZANoAvoid = stack.KindBIZANoAvoid
+	// DmzapRAIZN stacks the dm-zap adapter on the RAIZN array.
+	DmzapRAIZN = stack.KindDmzapRAIZN
+	// MdraidDmzap runs mdraid over per-SSD dm-zap adapters.
+	MdraidDmzap = stack.KindMdraidDmzap
+	// MdraidConvSSD runs mdraid over conventional (FTL) SSDs.
+	MdraidConvSSD = stack.KindMdraidConvSSD
+	// RAIZN exposes the raw zoned array through a sequential-only shim.
+	RAIZN = stack.KindRAIZN
+)
+
+// Options configures an Array.
+type Options struct {
+	// Kind selects the platform; zero value builds BIZA.
+	Kind Kind
+	// Members is the SSD count (default 4, the paper's RAID 5 testbed).
+	Members int
+	// ZNS overrides the member geometry; zero value uses a scaled ZN540.
+	ZNS zns.Config
+	// FTL overrides conventional-SSD geometry for MdraidConvSSD.
+	FTL ftl.Config
+	// Engine overrides the BIZA engine configuration.
+	Engine *core.Config
+	// StoreData retains payloads for read-back (costs host memory).
+	StoreData bool
+	// Seed makes every stochastic element reproducible.
+	Seed uint64
+}
+
+// WriteAmp re-exports the endurance accounting type.
+type WriteAmp = metrics.WriteAmp
+
+// Array is a block-interface all-flash array in a private simulation.
+type Array struct {
+	p *stack.Platform
+}
+
+// New builds an array.
+func New(opts Options) (*Array, error) {
+	kind := opts.Kind
+	if kind == "" {
+		kind = BIZA
+	}
+	sopts := stack.Options{
+		Members:    opts.Members,
+		ZNS:        opts.ZNS,
+		FTL:        opts.FTL,
+		Seed:       opts.Seed,
+		BIZAConfig: opts.Engine,
+	}
+	if opts.StoreData {
+		if sopts.ZNS.NumZones == 0 {
+			sopts.ZNS = stack.BenchZNS(128)
+		}
+		sopts.ZNS.StoreData = true
+		if sopts.FTL.FlashBlocks == 0 {
+			sopts.FTL = stack.BenchFTL(2048)
+		}
+		sopts.FTL.StoreData = true
+	}
+	p, err := stack.New(kind, sopts)
+	if err != nil {
+		return nil, err
+	}
+	return &Array{p: p}, nil
+}
+
+// Kind reports the platform kind.
+func (a *Array) Kind() Kind { return a.p.Kind }
+
+// BlockSize reports the logical block size in bytes.
+func (a *Array) BlockSize() int { return a.p.Dev.BlockSize() }
+
+// Blocks reports user capacity in blocks.
+func (a *Array) Blocks() int64 { return a.p.Dev.Blocks() }
+
+// Device exposes the asynchronous block interface for event-driven use.
+func (a *Array) Device() blockdev.Device { return a.p.Dev }
+
+// Run drains all pending simulation events.
+func (a *Array) Run() { a.p.Eng.Run() }
+
+// RunFor advances virtual time by d nanoseconds.
+func (a *Array) RunFor(d int64) { a.p.Eng.RunUntil(a.p.Eng.Now() + d) }
+
+// Now reports the current virtual time in nanoseconds.
+func (a *Array) Now() int64 { return a.p.Eng.Now() }
+
+// ErrIncomplete reports an operation that did not finish when the event
+// queue drained (internal deadlock — please report).
+var ErrIncomplete = errors.New("biza: operation did not complete")
+
+// WriteSync writes nblocks at lba and drives the simulation until the
+// write completes. data may be nil (traffic without payload) or hold
+// nblocks*BlockSize bytes.
+func (a *Array) WriteSync(lba int64, nblocks int, data []byte) error {
+	var res blockdev.WriteResult
+	ok := false
+	a.p.Dev.Write(lba, nblocks, data, func(r blockdev.WriteResult) { res = r; ok = true })
+	a.p.Eng.Run()
+	if !ok {
+		return ErrIncomplete
+	}
+	return res.Err
+}
+
+// ReadSync reads nblocks at lba, driving the simulation to completion.
+// The returned payload is nil unless the array stores data.
+func (a *Array) ReadSync(lba int64, nblocks int) ([]byte, error) {
+	var res blockdev.ReadResult
+	ok := false
+	a.p.Dev.Read(lba, nblocks, func(r blockdev.ReadResult) { res = r; ok = true })
+	a.p.Eng.Run()
+	if !ok {
+		return nil, ErrIncomplete
+	}
+	return res.Data, res.Err
+}
+
+// Trim declares a range dead.
+func (a *Array) Trim(lba int64, nblocks int) { a.p.Dev.Trim(lba, nblocks) }
+
+// Flush commits device write buffers (ZRWA / caches) so endurance
+// counters reflect every acknowledged byte.
+func (a *Array) Flush() { a.p.Flush() }
+
+// WriteAmp reports flash-level write amplification: user bytes versus
+// bytes physically programmed on the member devices.
+func (a *Array) WriteAmp() WriteAmp { return a.p.FlashWriteAmp() }
+
+// AbsorbedBytes reports overwrites absorbed in device write buffers
+// (ZRWA) without reaching flash.
+func (a *Array) AbsorbedBytes() uint64 { return a.p.AbsorbedBytes() }
+
+// GCEvents reports host garbage collections (BIZA kinds only).
+func (a *Array) GCEvents() uint64 {
+	if a.p.BIZA == nil {
+		return 0
+	}
+	return a.p.BIZA.GCEvents()
+}
+
+// SetDeviceFailed toggles a member failure for degraded-mode reads (BIZA
+// kinds only).
+func (a *Array) SetDeviceFailed(dev int, failed bool) error {
+	if a.p.BIZA == nil {
+		return errors.New("biza: degraded mode requires a BIZA platform")
+	}
+	return a.p.BIZA.SetDeviceFailed(dev, failed)
+}
+
+// ReplaceDevice hot-swaps a failed member with a fresh device and
+// rebuilds redundancy, driving the simulation to completion (BIZA kinds
+// only).
+func (a *Array) ReplaceDevice(dev int) error {
+	var rerr error
+	ok := false
+	a.p.ReplaceDevice(dev, func(err error) { rerr = err; ok = true })
+	a.p.Eng.Run()
+	if !ok {
+		return ErrIncomplete
+	}
+	return rerr
+}
+
+// NewFS formats a log-structured (F2FS-like) filesystem on the array.
+func (a *Array) NewFS() (*lsfs.FS, error) {
+	return lsfs.New(a.p.Eng, a.p.Dev, lsfs.DefaultConfig())
+}
+
+// OpenKV opens an LSM key-value store on a filesystem from NewFS.
+func (a *Array) OpenKV(fs *lsfs.FS) (*kvstore.DB, error) {
+	return kvstore.Open(a.p.Eng, fs, kvstore.DefaultConfig())
+}
+
+// Engine exposes the simulation engine for advanced event-driven callers.
+func (a *Array) Engine() *sim.Engine { return a.p.Eng }
+
+// Platform exposes the underlying assembly (devices, accounting) for
+// experiment harnesses.
+func (a *Array) Platform() *stack.Platform { return a.p }

@@ -1,0 +1,106 @@
+// Crash recovery: write through a BIZA array, "crash" the host (discard
+// every host-side mapping table), rebuild the engine from the per-block
+// OOB records on the devices (§4.1), and verify all acknowledged data is
+// intact and the array keeps working.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"biza/internal/blockdev"
+	"biza/internal/core"
+	"biza/internal/nvme"
+	"biza/internal/sim"
+	"biza/internal/stack"
+	"biza/internal/zns"
+)
+
+func pattern(lba int64) []byte {
+	b := make([]byte, 4096)
+	for i := range b {
+		b[i] = byte(lba) ^ byte(i*13)
+	}
+	return b
+}
+
+func main() {
+	// Build the array from explicit pieces so the devices survive the
+	// "crash" while the host engine does not.
+	zcfg := stack.BenchZNS(64)
+	zcfg.ZoneBlocks = 1024
+	zcfg.ZRWABlocks = 128
+	zcfg.StoreData = true
+	eng := sim.NewEngine()
+	var queues []*nvme.Queue
+	for i := 0; i < 4; i++ {
+		dc := zcfg
+		dc.Seed = uint64(i)
+		d, err := zns.New(eng, dc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		queues = append(queues, nvme.New(d, nvme.Config{
+			ReorderWindow: 5 * sim.Microsecond, Seed: uint64(i) + 9,
+		}))
+	}
+	ccfg := core.DefaultConfig(zcfg.NumZones)
+	arr, err := core.New(queues, ccfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lbas := []int64{0, 7, 512, 4095, 77, 7, 7} // includes hot rewrites of 7
+	fmt.Println("writing data set...")
+	acked := 0
+	for _, lba := range lbas {
+		arr.Write(lba, 1, pattern(lba), func(r blockdev.WriteResult) {
+			if r.Err != nil {
+				log.Fatalf("write: %v", r.Err)
+			}
+			acked++
+		})
+	}
+	eng.Run()
+	fmt.Printf("%d writes acknowledged\n", acked)
+
+	fmt.Println("CRASH: discarding all host state (BMT, SMT, zone views)")
+	arr = nil
+
+	var recovered *core.Core
+	core.Recover(queues, ccfg, nil, func(c *core.Core, err error) {
+		if err != nil {
+			log.Fatalf("recovery failed: %v", err)
+		}
+		recovered = c
+	})
+	eng.Run()
+	fmt.Printf("recovered at %.2f ms of virtual time\n", float64(eng.Now())/1e6)
+
+	verify := func(lba int64) {
+		var got []byte
+		var rerr error
+		recovered.Read(lba, 1, func(r blockdev.ReadResult) { got, rerr = r.Data, r.Err })
+		eng.Run()
+		if rerr != nil {
+			log.Fatalf("read %d after recovery: %v", lba, rerr)
+		}
+		if !bytes.Equal(got, pattern(lba)) {
+			log.Fatalf("block %d corrupted after recovery", lba)
+		}
+		fmt.Printf("  block %-5d OK\n", lba)
+	}
+	for _, lba := range []int64{0, 7, 512, 4095, 77} {
+		verify(lba)
+	}
+
+	// The recovered array accepts new writes.
+	ok := false
+	recovered.Write(1000, 1, pattern(1000), func(r blockdev.WriteResult) { ok = r.Err == nil })
+	eng.Run()
+	if !ok {
+		log.Fatal("post-recovery write failed")
+	}
+	fmt.Println("post-recovery write OK — array fully operational")
+}

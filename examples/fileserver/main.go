@@ -1,0 +1,43 @@
+// Fileserver: run the filebench-like fileserver personality on a
+// log-structured filesystem over BIZA and over mdraid+dmzap, and compare
+// throughput and endurance — a miniature of the paper's Fig. 13a.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"biza"
+	"biza/internal/lsfs"
+)
+
+func run(kind biza.Kind) (opsPerSec, waFactor float64) {
+	arr, err := biza.New(biza.Options{Kind: kind, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs, err := arr.NewFS()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pers := *lsfs.PersonalityByName("fileserver")
+	res, err := pers.Run(arr.Engine(), fs, 16, 4000, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Errors > 0 {
+		log.Fatalf("%s: %d errors", kind, res.Errors)
+	}
+	wa := arr.WriteAmp()
+	return res.OpsPerSec(), wa.Factor()
+}
+
+func main() {
+	bizaOps, bizaWA := run(biza.BIZA)
+	mdOps, mdWA := run(biza.MdraidDmzap)
+	fmt.Printf("%-14s %12s %10s\n", "platform", "ops/s", "write-amp")
+	fmt.Printf("%-14s %12.0f %10.3f\n", "BIZA", bizaOps, bizaWA)
+	fmt.Printf("%-14s %12.0f %10.3f\n", "mdraid+dmzap", mdOps, mdWA)
+	fmt.Printf("\nBIZA: %.2fx throughput, %.1f%% less flash wear\n",
+		bizaOps/mdOps, (mdWA-bizaWA)/mdWA*100)
+}

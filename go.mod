@@ -1,0 +1,3 @@
+module biza
+
+go 1.22

@@ -1,0 +1,121 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment returns a Table whose rows mirror what
+// the paper plots; absolute values come from the simulated substrate, so
+// the comparisons (who wins, by what factor) are the reproduction target,
+// not the raw numbers.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"biza/internal/metrics"
+	"biza/internal/sim"
+)
+
+// Scale controls experiment cost. Default matches the committed results;
+// Quick is for smoke tests.
+type Scale struct {
+	Duration sim.Time // virtual measurement window per run
+	TraceOps int      // synthesized ops per trace workload
+	Warmup   uint64   // warmup bytes before measuring
+}
+
+// DefaultScale is used by the committed EXPERIMENTS.md results.
+func DefaultScale() Scale {
+	return Scale{Duration: 50 * sim.Millisecond, TraceOps: 60000, Warmup: 64 << 20}
+}
+
+// QuickScale runs every experiment in seconds (CI smoke).
+func QuickScale() Scale {
+	return Scale{Duration: 4 * sim.Millisecond, TraceOps: 4000, Warmup: 1 << 20}
+}
+
+// Table is one regenerated artifact.
+type Table struct {
+	ID     string // experiment id (fig10, table3, ...)
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row of stringified cells.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders an aligned text table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+func us(t sim.Time) string { return fmt.Sprintf("%.1f", float64(t)/1000) }
+
+// Experiments maps experiment ids to their runners (fig13a/fig13b are in
+// apps.go; everything shares this registry for the CLI and benchmarks).
+var Experiments = map[string]func(Scale) []*Table{}
+
+func register(id string, fn func(Scale) *Table) {
+	Experiments[id] = func(s Scale) []*Table { return []*Table{fn(s)} }
+}
+
+func registerMulti(id string, fn func(Scale) []*Table) {
+	Experiments[id] = fn
+}
+
+// IDs returns the registered experiment ids in canonical order.
+func IDs() []string {
+	order := []string{"table2", "table3", "table6", "fig4", "fig5", "fig10",
+		"fig11", "fig12", "fig13a", "fig13b", "fig14", "fig15", "fig16", "fig17",
+		"detect", "batching", "wear", "append", "future"}
+	var out []string
+	for _, id := range order {
+		if _, ok := Experiments[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// newLatHist is shorthand for a latency histogram.
+func newLatHist() *metrics.Histogram { return metrics.NewHistogram() }
+
+// Markdown renders the table as GitHub-flavored markdown (EXPERIMENTS.md).
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}

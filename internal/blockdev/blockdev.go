@@ -1,0 +1,55 @@
+// Package blockdev defines the asynchronous block-device interface shared
+// by every layer in this repository that exposes block semantics: the
+// conventional-SSD simulator, the dm-zap adapter, the mdraid and BIZA array
+// engines, and the platform compositions benchmarked against each other.
+package blockdev
+
+import (
+	"errors"
+
+	"biza/internal/metrics"
+	"biza/internal/sim"
+)
+
+// WriteResult is the completion of a Write or Flush.
+type WriteResult struct {
+	Err     error
+	Latency sim.Time
+}
+
+// ReadResult is the completion of a Read.
+type ReadResult struct {
+	Err     error
+	Data    []byte // nil when the underlying store does not retain payloads
+	Latency sim.Time
+}
+
+// Device is an asynchronous block device in virtual time. Implementations
+// are single-goroutine (simulation-driven); completions fire as events.
+type Device interface {
+	// BlockSize reports the logical block size in bytes.
+	BlockSize() int
+	// Blocks reports the usable capacity in blocks.
+	Blocks() int64
+	// Write stores nblocks starting at lba. data may be nil (performance
+	// experiments) or hold nblocks*BlockSize bytes.
+	Write(lba int64, nblocks int, data []byte, done func(WriteResult))
+	// Read fetches nblocks starting at lba.
+	Read(lba int64, nblocks int, done func(ReadResult))
+	// Trim declares [lba, lba+nblocks) dead so lower layers can drop it.
+	Trim(lba int64, nblocks int)
+}
+
+// WriteAmper is implemented by devices and engines that can report
+// endurance accounting.
+type WriteAmper interface {
+	WriteAmp() metrics.WriteAmp
+}
+
+// Common errors shared by block-layer implementations.
+var (
+	// ErrOutOfRange reports I/O beyond device capacity.
+	ErrOutOfRange = errors.New("blockdev: address out of range")
+	// ErrBadArgument reports malformed request parameters.
+	ErrBadArgument = errors.New("blockdev: bad argument")
+)

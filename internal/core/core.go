@@ -1,0 +1,391 @@
+// Package core implements BIZA, the paper's contribution: a self-governing
+// block-interface AFA over ZNS SSDs (§4). It exposes the block interface
+// upward while proactively scheduling I/O and SSD-internal work through
+// the ZNS interface downward:
+//
+//   - writes are logged as 4 KiB chunks into dynamically formed RAID
+//     stripes; a Block Mapping Table (BMT) and Stripe Mapping Table (SMT)
+//     track placement (§4.1);
+//   - the zone group selector classifies chunks with the ghost-cache
+//     hierarchy and steers high-profit chunks to ZRWA-aware zone groups,
+//     high-revenue chunks to GC-aware groups, and the rest to trivial
+//     groups (§4.2);
+//   - partial parities always live in the ZRWA of their stripe's parity
+//     slot and are updated in place, never reaching flash until the stripe
+//     is sealed (§4.2, Fig. 16);
+//   - a guess-and-verify channel detector maintains the zone-to-I/O-channel
+//     map (round-robin guess, vote-based online correction), enabling the
+//     GC-avoidance mechanism to steer user writes away from BUSY channels
+//     (§4.3);
+//   - a ZRWA-aware sliding-window scheduler keeps many writes in flight
+//     per zone without reorder failures (§4.4);
+//   - mapping metadata piggybacks in per-block OOB areas, from which the
+//     tables are rebuilt after a crash (§4.1).
+package core
+
+import (
+	"fmt"
+
+	"biza/internal/cpumodel"
+	"biza/internal/erasure"
+	"biza/internal/ghostcache"
+	"biza/internal/metrics"
+	"biza/internal/nvme"
+	"biza/internal/sim"
+)
+
+// Class is a chunk placement class, mapping 1:1 onto zone-group types.
+type Class uint8
+
+// Placement classes (§4.2). classGC is internal: the destination class for
+// GC migration, so migrated (cold) data never pollutes user groups.
+const (
+	ClassTrivial Class = iota
+	ClassGCAware       // high revenue, long reuse distance
+	ClassZRWA          // high profit: revenue + short reuse distance
+	classGC
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassTrivial:
+		return "trivial"
+	case ClassGCAware:
+		return "gc-aware"
+	case ClassZRWA:
+		return "zrwa-aware"
+	case classGC:
+		return "gc-dest"
+	}
+	return "unknown"
+}
+
+// Config tunes the engine.
+type Config struct {
+	// Parity is the fault tolerance m (1 = RAID 5, 2 = RAID 6).
+	Parity int
+
+	// ZonesPerGroup is how many open zones (ideally on distinct channels)
+	// each class group keeps per device.
+	ZonesPerGroup int
+
+	// GCLowWater / GCHighWater are per-device free-zone watermarks.
+	GCLowWater  int
+	GCHighWater int
+
+	// OverProvisionZones are per-device zones withheld from capacity.
+	OverProvisionZones int
+
+	// Ghost is the selector's cache configuration. Zeroed fields are
+	// filled from ghostcache.DefaultConfig of the array's total ZRWA.
+	Ghost ghostcache.Config
+
+	// EnableSelector toggles the §4.2 zone group selector; disabled, all
+	// chunks are trivial (the BIZAw/oSelector ablation).
+	EnableSelector bool
+	// EnableGCAvoid toggles the §4.3 BUSY-channel avoidance (the
+	// BIZAw/oAvoid ablation).
+	EnableGCAvoid bool
+
+	// DetectVotes is the vote threshold for correcting a zone's guessed
+	// channel (§4.3; paper uses 3).
+	DetectVotes int
+	// DiagnoseZones is how many zones are confirmed by the zone-to-zone
+	// diagnosis at array creation.
+	DiagnoseZones int
+	// SpikeFactor: a completed write slower than SpikeFactor times the
+	// moving average during GC casts a vote.
+	SpikeFactor float64
+
+	// MaxBatchBlocks caps how many contiguous chunk appends merge into one
+	// device command (0 = ZRWA/4, the default; 1 disables merging — the
+	// ablation showing per-command overhead drowning 4 KiB chunk traffic).
+	MaxBatchBlocks int64
+}
+
+// DefaultConfig returns the paper's settings for the given per-device zone
+// count.
+func DefaultConfig(zonesPerDevice int) Config {
+	op := zonesPerDevice / 8
+	if op < 4 {
+		op = 4
+	}
+	low := op/2 + 1
+	if low < 3 {
+		low = 3
+	}
+	high := op - 1
+	if high <= low {
+		high = low + 1
+	}
+	return Config{
+		Parity:             1,
+		ZonesPerGroup:      2,
+		GCLowWater:         low,
+		GCHighWater:        high,
+		OverProvisionZones: op,
+		EnableSelector:     true,
+		EnableGCAvoid:      true,
+		DetectVotes:        3,
+		DiagnoseZones:      4,
+		SpikeFactor:        3.0,
+	}
+}
+
+// pa is a physical chunk address: device, zone, block offset.
+type pa struct {
+	dev  int
+	zone int
+	off  int64
+}
+
+var paNone = pa{dev: -1}
+
+// bmtEntry maps a logical block to its chunk location and owning stripe.
+type bmtEntry struct {
+	pa pa
+	sn int64
+}
+
+// smtEntry records a stripe: its data chunk locations, parity locations,
+// and the logical blocks its chunks carry (needed for stripe-dissolving GC
+// and degraded reads).
+type smtEntry struct {
+	chunks  []pa    // data chunk slots; contents feed parity even when stale
+	lbns    []int64 // logical block carried by each chunk; -1 when stale
+	parity  []pa    // m parity locations
+	sealed  bool    // all k chunks written (final parity complete)
+	valid   int     // live data chunks
+	pending int     // chunk writes not yet completed (crash-consistency)
+
+	// In-place parity updates are read-modify-write on the parity slot;
+	// concurrent updates to one stripe must serialize or deltas are lost.
+	ipBusy bool
+	ipq    []func()
+}
+
+// Core is the BIZA engine. It implements blockdev.Device.
+type Core struct {
+	cfg        Config
+	eng        *sim.Engine
+	devs       []*devState
+	acct       *cpumodel.Accountant
+	ghost      *ghostcache.Cache
+	coder      *erasure.Coder // parity coefficients (XOR for m=1, RS beyond)
+	nData      int            // data chunks per stripe (devices - parity)
+	blockSize  int
+	zoneBlocks int64
+	zrwaBlocks int64
+
+	bmt      map[int64]bmtEntry
+	smt      map[int64]*smtEntry
+	gcPinned map[int64]bool // blocks being migrated: in-place updates defer
+	failed   []bool         // per-device failure flags (degraded mode)
+
+	// allocWaiters holds writes parked on transient open-slot exhaustion.
+	allocWaiters []func()
+
+	nextSN    int64
+	seq       uint64 // monotonic write sequence for OOB disambiguation
+	clock     uint64 // cumulative user bytes written (ghost-cache clock)
+	parityRot int
+
+	// Open stripes per class.
+	open [numClasses]*openStripe
+
+	// Latency EWMA for spike detection.
+	ewmaLatency float64
+	latSamples  uint64
+
+	// Diagnostic channel oracle (tests/benches only): when set, writes
+	// issued while GC is active are scored against the true mapping.
+	oracle     func(dev, zone int) int
+	busyWrites uint64
+	busyHits   uint64
+
+	// Accounting.
+	userBytes      uint64
+	parityBytes    uint64 // partial+final parity chunk writes issued
+	gcMigrated     uint64
+	gcEvents       uint64
+	inplaceHits    uint64
+	detectCorrects uint64
+}
+
+type openStripe struct {
+	sn            int64
+	parity        []pa // m parity slots (each in its zone's ZRWA)
+	count         int
+	accs          [][]byte // running partial parity per row; nil without payloads
+	parityWritten bool     // first parity write is an append, later in-place
+
+	// One parity generation in flight per stripe; extra appends coalesce.
+	parityBusy    bool
+	parityDirty   bool
+	parityWaiters []func(error)
+}
+
+// New builds a BIZA array over the member queues. Queues must wrap
+// homogeneous devices. acct may be nil.
+func New(queues []*nvme.Queue, cfg Config, acct *cpumodel.Accountant) (*Core, error) {
+	if len(queues) < 3 {
+		return nil, fmt.Errorf("core: need >= 3 members, got %d", len(queues))
+	}
+	if cfg.Parity < 1 || cfg.Parity >= len(queues)-1 {
+		return nil, fmt.Errorf("core: parity %d with %d members", cfg.Parity, len(queues))
+	}
+	base := queues[0].Device().Config()
+	for _, q := range queues[1:] {
+		c := q.Device().Config()
+		if c.ZoneBlocks != base.ZoneBlocks || c.NumZones != base.NumZones ||
+			c.BlockSize != base.BlockSize || c.ZRWABlocks != base.ZRWABlocks {
+			return nil, fmt.Errorf("core: heterogeneous members")
+		}
+	}
+	if base.ZRWABlocks == 0 {
+		return nil, fmt.Errorf("core: members lack ZRWA support")
+	}
+	zonesNeeded := cfg.ZonesPerGroup*int(numClasses) + 1
+	if base.MaxOpenZones < zonesNeeded {
+		return nil, fmt.Errorf("core: device allows %d open zones, need %d", base.MaxOpenZones, zonesNeeded)
+	}
+	if cfg.OverProvisionZones < 2 || cfg.OverProvisionZones >= base.NumZones {
+		return nil, fmt.Errorf("core: bad over-provisioning %d", cfg.OverProvisionZones)
+	}
+	if cfg.GCLowWater < 1 || cfg.GCHighWater <= cfg.GCLowWater {
+		return nil, fmt.Errorf("core: bad GC watermarks")
+	}
+	if acct == nil {
+		acct = &cpumodel.Accountant{}
+	}
+	coder, err := erasure.NewCoder(len(queues)-cfg.Parity, cfg.Parity)
+	if err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:        cfg,
+		eng:        queues[0].Device().Engine(),
+		acct:       acct,
+		nData:      len(queues) - cfg.Parity,
+		coder:      coder,
+		blockSize:  base.BlockSize,
+		zoneBlocks: base.ZoneBlocks,
+		zrwaBlocks: base.ZRWABlocks,
+		bmt:        make(map[int64]bmtEntry),
+		smt:        make(map[int64]*smtEntry),
+		gcPinned:   make(map[int64]bool),
+		failed:     make([]bool, len(queues)),
+	}
+	totalZRWA := uint64(base.ZRWABlocks) * uint64(base.BlockSize) * uint64(base.MaxOpenZones) * uint64(len(queues))
+	gcfg := cfg.Ghost
+	if gcfg.LRUEntries == 0 {
+		gcfg = ghostcache.DefaultConfig(totalZRWA)
+	}
+	c.ghost = ghostcache.New(gcfg)
+	for i, q := range queues {
+		ds, err := newDevState(c, i, q)
+		if err != nil {
+			return nil, err
+		}
+		c.devs = append(c.devs, ds)
+	}
+	for _, ds := range c.devs {
+		ds.diagnose(cfg.DiagnoseZones)
+	}
+	return c, nil
+}
+
+// BlockSize implements blockdev.Device.
+func (c *Core) BlockSize() int { return c.blockSize }
+
+// Blocks implements blockdev.Device: user capacity. Each stripe stores
+// nData data chunks across the array; capacity follows from the per-device
+// zone budget minus over-provisioning.
+func (c *Core) Blocks() int64 {
+	zones := int64(c.devs[0].q.Device().Config().NumZones - c.cfg.OverProvisionZones)
+	// Across all devices, each zone block holds data or parity in ratio
+	// nData : parity.
+	total := zones * c.zoneBlocks * int64(len(c.devs))
+	return total * int64(c.nData) / int64(len(c.devs))
+}
+
+// WriteAmp reports engine-level traffic (flash truth is in the devices).
+func (c *Core) WriteAmp() metrics.WriteAmp {
+	return metrics.WriteAmp{
+		UserBytes:        c.userBytes,
+		FlashDataBytes:   c.userBytes + c.gcMigrated,
+		FlashParityBytes: c.parityBytes,
+		GCMigratedBytes:  c.gcMigrated,
+	}
+}
+
+// GCEvents reports completed victim collections.
+func (c *Core) GCEvents() uint64 { return c.gcEvents }
+
+// InPlaceHits reports chunk updates absorbed in place in ZRWA.
+func (c *Core) InPlaceHits() uint64 { return c.inplaceHits }
+
+// DetectCorrections reports how many zone-channel guesses the vote-based
+// detector has corrected.
+func (c *Core) DetectCorrections() uint64 { return c.detectCorrects }
+
+// GhostCache exposes the selector's cache (diagnostics).
+func (c *Core) GhostCache() *ghostcache.Cache { return c.ghost }
+
+// Devices reports the member count.
+func (c *Core) Devices() int { return len(c.devs) }
+
+func (c *Core) chunkBytes() int64 { return int64(c.blockSize) }
+
+// classify maps a ghost-cache level to a placement class.
+func (c *Core) classify(lbn int64) Class {
+	if !c.cfg.EnableSelector {
+		return ClassTrivial
+	}
+	c.acct.Charge(cpumodel.CompBIZA, cpumodel.CostGhostAccess)
+	switch c.ghost.Access(uint64(lbn), c.clock) {
+	case ghostcache.LevelHP:
+		return ClassZRWA
+	case ghostcache.LevelHR:
+		return ClassGCAware
+	default:
+		return ClassTrivial
+	}
+}
+
+// Flush commits every open zone's ZRWA so all acknowledged data reaches
+// flash — used by endurance experiments before reading the device
+// counters (absorbed overwrites stay absorbed; only the current buffer
+// contents are programmed). The caller drains the engine afterwards.
+func (c *Core) Flush() {
+	for _, ds := range c.devs {
+		for class := Class(0); class < numClasses; class++ {
+			for _, zs := range ds.groups[class] {
+				if zs == nil || zs.sealedF || zs.wpAlloc == 0 {
+					continue
+				}
+				dev := ds.q.Device()
+				info, err := dev.ZoneInfo(zs.id)
+				if err != nil || !info.ZRWA {
+					continue
+				}
+				upTo := zs.wpAlloc
+				if max := info.WritePtr + c.zrwaBlocks; upTo > max {
+					upTo = max
+				}
+				if upTo > info.WritePtr {
+					dev.CommitZRWA(zs.id, upTo)
+				}
+			}
+		}
+	}
+}
+
+// ResetAccounting zeroes the engine's traffic counters (experiments call
+// it after preconditioning; device counters reset separately).
+func (c *Core) ResetAccounting() {
+	c.userBytes, c.parityBytes, c.gcMigrated = 0, 0, 0
+	c.gcEvents, c.inplaceHits = 0, 0
+	c.busyWrites, c.busyHits = 0, 0
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"sort"
+
+	"biza/internal/zns"
+)
+
+// maybeStartGC launches a device's collector when its free-zone pool drops
+// below the low watermark (or immediately when user work is stalled at the
+// cliff).
+func (c *Core) maybeStartGC(ds *devState) {
+	if ds.gcRunning {
+		return
+	}
+	if len(ds.freeZones) >= c.cfg.GCLowWater && len(ds.stalled) == 0 {
+		return
+	}
+	ds.gcRunning = true
+	c.eng.After(0, func() { c.gcStep(ds) })
+}
+
+// gcStep collects one victim zone (§4.3's GC events): it dissolves every
+// stripe that owns a slot — live or stale — in the victim, migrating the
+// live chunks into GC-class stripes, then resets the victim. For the
+// duration, the victim's guessed channel and the GC destination zones'
+// guessed channels are tagged BUSY so pickZone steers user writes away.
+func (c *Core) gcStep(ds *devState) {
+	if len(ds.freeZones) >= c.cfg.GCHighWater && len(ds.stalled) == 0 {
+		ds.gcRunning = false
+		return
+	}
+	victim := ds.pickVictim()
+	if victim < 0 {
+		ds.gcRunning = false
+		// Nothing collectible: release any stalled writers (no deadlock).
+		for len(ds.stalled) > 0 {
+			fn := ds.stalled[0]
+			ds.stalled = ds.stalled[1:]
+			fn()
+		}
+		return
+	}
+	c.gcEvents++
+	vzs := ds.zones[victim]
+
+	// Tag BUSY: the victim's channel (reads + erase) and the current GC
+	// destination zones on every device (migration programs).
+	// BUSY bookkeeping runs regardless of the avoidance toggle (the
+	// ablation disables only the steering in pickZone), so collision
+	// diagnostics compare like for like.
+	var releases []func()
+	_, rel := ds.markBusy(victim)
+	releases = append(releases, rel)
+	for _, d := range c.devs {
+		for _, zs := range d.groups[classGC] {
+			if zs != nil && !zs.sealedF {
+				_, r := d.markBusy(zs.id)
+				releases = append(releases, r)
+			}
+		}
+	}
+	finish := func() {
+		ds.q.Reset(victim, func(error) {
+			for _, r := range releases {
+				r()
+			}
+			ds.freeZone(victim)
+			c.eng.After(0, func() { c.gcStep(ds) })
+		})
+	}
+
+	// Collect the owning stripes of every slot in the victim.
+	snSet := map[int64]bool{}
+	for off := int64(0); off < vzs.wpAlloc; off++ {
+		if sn := vzs.rmapStripe[off]; sn >= 0 {
+			snSet[sn] = true
+		}
+		if sn := vzs.rmapSN[off]; sn >= 0 {
+			snSet[sn] = true
+		}
+	}
+	sns := make([]int64, 0, len(snSet))
+	for sn := range snSet {
+		sns = append(sns, sn)
+	}
+	sort.Slice(sns, func(i, j int) bool { return sns[i] < sns[j] })
+
+	remaining := len(sns)
+	if remaining == 0 {
+		finish()
+		return
+	}
+	for _, sn := range sns {
+		c.dissolveStripe(sn, func() {
+			remaining--
+			if remaining == 0 {
+				finish()
+			}
+		})
+	}
+}
+
+// dissolveStripe migrates every live chunk of a stripe into GC-class
+// stripes and releases the old stripe. Its live blocks are pinned for the
+// duration so in-place updates cannot race the migration reads.
+func (c *Core) dissolveStripe(sn int64, done func()) {
+	se := c.smt[sn]
+	if se == nil {
+		done()
+		return
+	}
+	if !se.sealed {
+		// The stripe is still open: seal it short. Its partial parity is
+		// the valid parity of the chunks written so far.
+		se.sealed = true
+		for class := Class(0); class < numClasses; class++ {
+			if st := c.open[class]; st != nil && st.sn == sn {
+				c.open[class] = nil
+			}
+		}
+	}
+	type migrant struct {
+		lbn int64
+		p   pa
+	}
+	var live []migrant
+	for i, lbn := range se.lbns {
+		if lbn >= 0 && se.chunks[i].dev >= 0 {
+			live = append(live, migrant{lbn: lbn, p: se.chunks[i]})
+			c.gcPinned[lbn] = true
+		}
+	}
+	if len(live) == 0 {
+		if se.pending == 0 {
+			c.releaseStripe(sn, se)
+		}
+		done()
+		return
+	}
+	remaining := len(live)
+	finishOne := func(lbn int64) {
+		delete(c.gcPinned, lbn)
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		// All live chunks rehomed; the old stripe died through the
+		// invalidate() calls of the migrations. If it still lingers
+		// (pending completions), release explicitly once safe.
+		if se2 := c.smt[sn]; se2 != nil && se2.valid == 0 && se2.pending == 0 {
+			c.releaseStripe(sn, se2)
+		}
+		done()
+	}
+	migrate := func(lbn int64, p pa, data []byte) {
+		// The block may have been rewritten while the read was in flight
+		// (pinning stops in-place updates, but a fresh append can still
+		// supersede it).
+		if cur, ok := c.bmt[lbn]; !ok || cur.pa != p {
+			finishOne(lbn)
+			return
+		}
+		c.gcMigrated += uint64(c.blockSize)
+		c.writeChunk(lbn, data, classGC, zns.TagGCData, func(error) {
+			finishOne(lbn)
+		})
+	}
+	for _, m := range live {
+		m := m
+		if c.failed[m.p.dev] {
+			// Source member is gone (rebuild path): reconstruct the chunk
+			// from the stripe's survivors instead of reading it.
+			c.reconstructChunk(m.lbn, func(data []byte, err error) {
+				if err != nil {
+					finishOne(m.lbn)
+					return
+				}
+				migrate(m.lbn, m.p, data)
+			})
+			continue
+		}
+		c.devs[m.p.dev].q.Read(m.p.zone, m.p.off, 1, func(r zns.ReadResult) {
+			migrate(m.lbn, m.p, r.Data)
+		})
+	}
+}

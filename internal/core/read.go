@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"biza/internal/blockdev"
+	"biza/internal/cpumodel"
+	"biza/internal/sim"
+	"biza/internal/zns"
+)
+
+// ErrUnrecoverable reports a degraded read that cannot be reconstructed.
+var ErrUnrecoverable = errors.New("core: chunk unrecoverable (stripe incomplete)")
+
+// SetDeviceFailed marks a member failed; subsequent reads of its chunks
+// reconstruct from the surviving stripe members (degraded mode).
+func (c *Core) SetDeviceFailed(dev int, failed bool) error {
+	if dev < 0 || dev >= len(c.devs) {
+		return fmt.Errorf("core: device %d out of range", dev)
+	}
+	c.failed[dev] = failed
+	return nil
+}
+
+// Read implements blockdev.Device: BMT lookups, coalesced per-zone reads,
+// and parity reconstruction for chunks on failed members.
+func (c *Core) Read(lba int64, nblocks int, done func(blockdev.ReadResult)) {
+	start := c.eng.Now()
+	if nblocks <= 0 || lba < 0 || lba+int64(nblocks) > c.Blocks() {
+		if done != nil {
+			c.eng.After(sim.Microsecond, func() {
+				done(blockdev.ReadResult{Err: blockdev.ErrOutOfRange, Latency: c.eng.Now() - start})
+			})
+		}
+		return
+	}
+	bs := c.chunkBytes()
+	buf := make([]byte, int64(nblocks)*bs)
+	// Coalesce per (device, zone): chunks of a striped logical range land
+	// at consecutive zone offsets on each member even though their buffer
+	// positions interleave, so each run carries its blocks' buffer indices
+	// for de-striping (one device command per run, the block layer's
+	// request merging).
+	type runT struct {
+		dev, zone int
+		off       int64
+		bufIdx    []int64
+	}
+	var runs []runT
+	lastRun := map[[2]int]int{} // (dev,zone) -> index of its latest run
+	var degraded []int64        // buffer block indices needing reconstruction
+	for i := int64(0); i < int64(nblocks); i++ {
+		e, ok := c.bmt[lba+i]
+		if !ok {
+			continue // unwritten reads as zeros
+		}
+		if c.failed[e.pa.dev] {
+			degraded = append(degraded, i)
+			continue
+		}
+		key := [2]int{e.pa.dev, e.pa.zone}
+		if li, ok := lastRun[key]; ok {
+			r := &runs[li]
+			if r.off+int64(len(r.bufIdx)) == e.pa.off {
+				r.bufIdx = append(r.bufIdx, i)
+				continue
+			}
+		}
+		runs = append(runs, runT{dev: e.pa.dev, zone: e.pa.zone, off: e.pa.off, bufIdx: []int64{i}})
+		lastRun[key] = len(runs) - 1
+	}
+	outstanding := len(runs) + len(degraded)
+	if outstanding == 0 {
+		if done != nil {
+			c.eng.After(sim.Microsecond, func() {
+				done(blockdev.ReadResult{Data: buf, Latency: c.eng.Now() - start})
+			})
+		}
+		return
+	}
+	var firstErr error
+	finishOne := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		outstanding--
+		if outstanding == 0 && done != nil {
+			done(blockdev.ReadResult{Err: firstErr, Data: buf, Latency: c.eng.Now() - start})
+		}
+	}
+	for _, r := range runs {
+		r := r
+		c.acct.Charge(cpumodel.CompIO, cpumodel.CostSubmission)
+		c.devs[r.dev].q.Read(r.zone, r.off, len(r.bufIdx), func(res zns.ReadResult) {
+			if res.Data != nil {
+				for j, idx := range r.bufIdx {
+					copy(buf[idx*bs:(idx+1)*bs], res.Data[int64(j)*bs:(int64(j)+1)*bs])
+				}
+			}
+			finishOne(res.Err)
+		})
+	}
+	for _, i := range degraded {
+		i := i
+		c.reconstructChunk(lba+i, func(data []byte, err error) {
+			if data != nil {
+				copy(buf[i*bs:], data)
+			}
+			finishOne(err)
+		})
+	}
+}
+
+// reconstructChunk rebuilds one chunk of a failed member from the
+// stripe's surviving shards via the erasure code (plain XOR for RAID 5,
+// Reed-Solomon beyond). Stale sibling slots still feed parity, so they
+// are read too; chunk positions a short stripe never filled are
+// zero shards by construction.
+func (c *Core) reconstructChunk(lbn int64, done func([]byte, error)) {
+	e, ok := c.bmt[lbn]
+	if !ok {
+		done(nil, nil)
+		return
+	}
+	se := c.smt[e.sn]
+	if se == nil {
+		done(nil, ErrUnrecoverable)
+		return
+	}
+	k, m := c.nData, len(se.parity)
+	shards := make([][]byte, k+m)
+	type fetch struct {
+		idx int
+		p   pa
+	}
+	var fetches []fetch
+	target := -1
+	for i := 0; i < k; i++ {
+		if i >= len(se.chunks) {
+			shards[i] = make([]byte, c.blockSize) // never written: zero shard
+			continue
+		}
+		p := se.chunks[i]
+		if p == e.pa {
+			target = i
+			continue // the missing shard
+		}
+		if p.dev < 0 {
+			shards[i] = make([]byte, c.blockSize)
+			continue
+		}
+		if c.failed[p.dev] {
+			continue // another missing shard; RS may still recover
+		}
+		fetches = append(fetches, fetch{idx: i, p: p})
+	}
+	if target < 0 {
+		done(nil, ErrUnrecoverable)
+		return
+	}
+	for r := 0; r < m; r++ {
+		p := se.parity[r]
+		if p.dev < 0 || c.failed[p.dev] {
+			continue
+		}
+		fetches = append(fetches, fetch{idx: k + r, p: p})
+	}
+	remaining := len(fetches)
+	if remaining == 0 {
+		done(nil, ErrUnrecoverable)
+		return
+	}
+	var firstErr error
+	finish := func() {
+		if firstErr != nil {
+			done(nil, firstErr)
+			return
+		}
+		if err := c.coder.Reconstruct(shards); err != nil {
+			done(nil, ErrUnrecoverable)
+			return
+		}
+		done(shards[target], nil)
+	}
+	for _, f := range fetches {
+		f := f
+		c.devs[f.p.dev].q.Read(f.p.zone, f.p.off, 1, func(r zns.ReadResult) {
+			if r.Err != nil && firstErr == nil {
+				firstErr = r.Err
+			}
+			if r.Data != nil {
+				shards[f.idx] = r.Data
+			} else if firstErr == nil {
+				shards[f.idx] = make([]byte, c.blockSize)
+			}
+			remaining--
+			if remaining == 0 {
+				finish()
+			}
+		})
+	}
+}

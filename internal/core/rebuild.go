@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"biza/internal/nvme"
+)
+
+// ReplaceDevice swaps a failed member for a fresh device and rebuilds
+// redundancy: every stripe with a slot on the replaced member is
+// dissolved — its live chunks are re-homed into new stripes across the
+// full array (chunks that lived on the dead member are reconstructed from
+// the survivors via the erasure code). When done fires, no live data
+// references the replaced member and full fault tolerance is restored.
+//
+// The log-structured rebuild mirrors how BIZA's GC migrates data, so it
+// reuses the same dissolution machinery rather than copying block-for-
+// block onto the spare (the spare simply joins the allocation rotation).
+func (c *Core) ReplaceDevice(dev int, q *nvme.Queue, done func(error)) {
+	fail := func(err error) {
+		if done != nil {
+			c.eng.After(0, func() { done(err) })
+		}
+	}
+	if dev < 0 || dev >= len(c.devs) {
+		fail(fmt.Errorf("core: device %d out of range", dev))
+		return
+	}
+	ncfg := q.Device().Config()
+	ocfg := c.devs[dev].q.Device().Config()
+	if ncfg.ZoneBlocks != ocfg.ZoneBlocks || ncfg.NumZones != ocfg.NumZones ||
+		ncfg.BlockSize != ocfg.BlockSize || ncfg.ZRWABlocks != ocfg.ZRWABlocks {
+		fail(fmt.Errorf("core: replacement device geometry mismatch"))
+		return
+	}
+	ds, err := newDevState(c, dev, q)
+	if err != nil {
+		fail(err)
+		return
+	}
+	ds.diagnose(c.cfg.DiagnoseZones)
+	c.devs[dev] = ds
+	// Until the rebuild completes, reads of chunks that lived on the old
+	// member reconstruct from the survivors.
+	c.failed[dev] = true
+
+	// Every stripe with a data or parity slot on the member needs
+	// dissolution.
+	snSet := map[int64]bool{}
+	for sn, se := range c.smt {
+		for _, p := range se.chunks {
+			if p.dev == dev {
+				snSet[sn] = true
+			}
+		}
+		for _, p := range se.parity {
+			if p.dev == dev {
+				snSet[sn] = true
+			}
+		}
+	}
+	sns := make([]int64, 0, len(snSet))
+	for sn := range snSet {
+		sns = append(sns, sn)
+	}
+	sort.Slice(sns, func(i, j int) bool { return sns[i] < sns[j] })
+
+	remaining := len(sns)
+	if remaining == 0 {
+		c.failed[dev] = false
+		fail(nil)
+		return
+	}
+	for _, sn := range sns {
+		c.dissolveStripe(sn, func() {
+			remaining--
+			if remaining == 0 {
+				c.failed[dev] = false
+				if done != nil {
+					done(nil)
+				}
+			}
+		})
+	}
+}

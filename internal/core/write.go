@@ -1,0 +1,547 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"biza/internal/blockdev"
+	"biza/internal/cpumodel"
+	"biza/internal/erasure"
+	"biza/internal/sim"
+	"biza/internal/zns"
+)
+
+// OOB record layout: kind(1) | lbn(8) | sn(8) | seq(8) | idx(1) = 26
+// bytes, well inside the 64 B / 4 KiB quota (§4.1 uses 72 bits by omitting
+// what this simulation cannot: the physical address is implicit on real
+// flash, and the sequence number replaces the paper's implied write
+// ordering). idx is the chunk's index within its stripe for data records
+// (it selects the erasure-code coefficients on recovery) and the parity
+// row for parity records.
+const (
+	oobKindData   = 1
+	oobKindParity = 2
+	oobLen        = 26
+)
+
+func encodeOOB(kind byte, lbn, sn int64, seq uint64, idx int) []byte {
+	b := make([]byte, oobLen)
+	b[0] = kind
+	binary.LittleEndian.PutUint64(b[1:], uint64(lbn))
+	binary.LittleEndian.PutUint64(b[9:], uint64(sn))
+	binary.LittleEndian.PutUint64(b[17:], seq)
+	b[25] = byte(idx)
+	return b
+}
+
+func decodeOOB(b []byte) (kind byte, lbn, sn int64, seq uint64, idx int, ok bool) {
+	if len(b) < oobLen {
+		return 0, 0, 0, 0, 0, false
+	}
+	kind = b[0]
+	if kind != oobKindData && kind != oobKindParity {
+		return 0, 0, 0, 0, 0, false
+	}
+	lbn = int64(binary.LittleEndian.Uint64(b[1:]))
+	sn = int64(binary.LittleEndian.Uint64(b[9:]))
+	seq = binary.LittleEndian.Uint64(b[17:])
+	idx = int(b[25])
+	return kind, lbn, sn, seq, idx, true
+}
+
+// Write implements blockdev.Device: the §4.1 write path. Each 4 KiB block
+// is one chunk; parity is computed per dynamically formed stripe, with
+// partial parity held and updated in place in the parity slot's ZRWA.
+func (c *Core) Write(lba int64, nblocks int, data []byte, done func(blockdev.WriteResult)) {
+	start := c.eng.Now()
+	if nblocks <= 0 || lba < 0 || lba+int64(nblocks) > c.Blocks() {
+		if done != nil {
+			c.eng.After(sim.Microsecond, func() {
+				done(blockdev.WriteResult{Err: blockdev.ErrOutOfRange, Latency: c.eng.Now() - start})
+			})
+		}
+		return
+	}
+	bs := c.chunkBytes()
+	c.userBytes += uint64(nblocks) * uint64(bs)
+	remaining := nblocks
+	var firstErr error
+	for i := 0; i < nblocks; i++ {
+		lbn := lba + int64(i)
+		var payload []byte
+		if data != nil {
+			payload = data[int64(i)*bs : (int64(i)+1)*bs]
+		}
+		c.clock += uint64(bs)
+		class := c.classify(lbn)
+		c.writeChunk(lbn, payload, class, zns.TagUserData, func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			remaining--
+			if remaining == 0 && done != nil {
+				done(blockdev.WriteResult{Err: firstErr, Latency: c.eng.Now() - start})
+			}
+		})
+	}
+}
+
+// writeChunk stores one chunk. If the current copy still sits inside its
+// zone's ZRWA window (and is not pinned by GC), it is updated in place —
+// the paper's endurance fast path. Otherwise a new slot is allocated from
+// the class's zone group and the chunk joins the class's open stripe.
+func (c *Core) writeChunk(lbn int64, payload []byte, class Class, tag zns.WriteTag, done func(error)) {
+	if e, ok := c.bmt[lbn]; ok && !c.gcPinned[lbn] {
+		if c.tryInPlace(lbn, e, payload, class, tag, done) {
+			return
+		}
+	}
+	c.appendChunk(lbn, payload, class, tag, done)
+}
+
+// tryInPlace updates a chunk and its stripe's parity inside their ZRWA
+// windows. Only chunks of sealed stripes qualify: an open stripe's parity
+// slot is owned by the append flow's accumulator. Returns false when
+// either slot has been committed to flash. In-place read-modify-write of
+// a stripe's parity serializes per stripe (lost-delta and same-slot
+// reorder protection).
+func (c *Core) tryInPlace(lbn int64, e bmtEntry, payload []byte, class Class, tag zns.WriteTag, done func(error)) bool {
+	ds := c.devs[e.pa.dev]
+	zs := ds.zones[e.pa.zone]
+	if zs == nil || zs.sealedF || e.pa.off < zs.devWP(c.zrwaBlocks) || !zs.slotDone(e.pa.off) {
+		return false
+	}
+	se := c.smt[e.sn]
+	if se == nil || !se.sealed {
+		return false
+	}
+	// Every parity slot must still be in its window with its append done.
+	for _, ppa := range se.parity {
+		if ppa.dev < 0 {
+			return false
+		}
+		pzs := c.devs[ppa.dev].zones[ppa.zone]
+		if pzs == nil || pzs.sealedF || ppa.off < pzs.devWP(c.zrwaBlocks) || !pzs.slotDone(ppa.off) {
+			return false
+		}
+	}
+	// The chunk's index within the stripe selects the parity coefficients.
+	chunkIdx := -1
+	for i, p := range se.chunks {
+		if p == e.pa {
+			chunkIdx = i
+			break
+		}
+	}
+	if chunkIdx < 0 {
+		return false
+	}
+	if payload != nil {
+		if se.ipBusy {
+			se.ipq = append(se.ipq, func() { c.writeChunk(lbn, payload, class, tag, done) })
+			return true
+		}
+		se.ipBusy = true
+	}
+	c.inplaceHits++
+	c.seq++
+	seq := c.seq
+	m := len(se.parity)
+	pending := 1 + m
+	// Pin every slot NOW: the payload path reads before writing, and the
+	// window must not slide past any of these offsets in the meantime.
+	zs.ipOffsets[e.pa.off]++
+	for _, ppa := range se.parity {
+		c.devs[ppa.dev].zones[ppa.zone].ipOffsets[ppa.off]++
+	}
+	var firstErr error
+	finish := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		pending--
+		if pending > 0 {
+			return
+		}
+		if payload != nil {
+			se.ipBusy = false
+			if len(se.ipq) > 0 {
+				next := se.ipq[0]
+				se.ipq = se.ipq[1:]
+				c.eng.After(0, next)
+			}
+		}
+		if done != nil {
+			done(firstErr)
+		}
+	}
+	writeParity := func(r int, parityData []byte) {
+		ppa := se.parity[r]
+		pds := c.devs[ppa.dev]
+		pzs := pds.zones[ppa.zone]
+		c.parityBytes += uint64(c.blockSize)
+		pds.submitChunk(pzs, schedOp{
+			off: ppa.off, inplace: true, reserved: true, data: parityData,
+			oob: encodeOOB(oobKindParity, int64(r), e.sn, seq, r), tag: zns.TagParity,
+			done: func(w zns.WriteResult) { finish(w.Err) },
+		})
+	}
+	writeData := func() {
+		ds.submitChunk(zs, schedOp{
+			off: e.pa.off, inplace: true, reserved: true, data: payload,
+			oob: encodeOOB(oobKindData, lbn, e.sn, seq, chunkIdx), tag: tag,
+			done: func(r zns.WriteResult) { finish(r.Err) },
+		})
+	}
+	if payload == nil {
+		// Performance mode: traffic without content.
+		writeData()
+		for r := 0; r < m; r++ {
+			writeParity(r, nil)
+		}
+		return true
+	}
+	// Parity deltas need the old chunk and the old parities — all buffered
+	// reads, since every slot is inside a ZRWA window.
+	var oldData []byte
+	oldParity := make([][]byte, m)
+	reads := 1 + m
+	afterReads := func() {
+		reads--
+		if reads > 0 {
+			return
+		}
+		writeData()
+		delta := make([]byte, c.blockSize)
+		if oldData != nil {
+			copy(delta, oldData)
+		}
+		erasure.XORInto(delta, payload)
+		for r := 0; r < m; r++ {
+			np := make([]byte, c.blockSize)
+			if oldParity[r] != nil {
+				copy(np, oldParity[r])
+			}
+			erasure.MulXor(c.coder.Coeff(r, chunkIdx), delta, np)
+			c.acct.ChargeParity(cpumodel.CompBIZA, int64(c.blockSize))
+			writeParity(r, np)
+		}
+	}
+	ds.q.Read(e.pa.zone, e.pa.off, 1, func(r zns.ReadResult) {
+		oldData = r.Data
+		afterReads()
+	})
+	for r := 0; r < m; r++ {
+		r := r
+		ppa := se.parity[r]
+		c.devs[ppa.dev].q.Read(ppa.zone, ppa.off, 1, func(res zns.ReadResult) {
+			oldParity[r] = res.Data
+			afterReads()
+		})
+	}
+	return true
+}
+
+// appendChunk allocates a fresh slot for the chunk, joins it to the open
+// stripe of its class, and updates the partial parity in place.
+func (c *Core) appendChunk(lbn int64, payload []byte, class Class, tag zns.WriteTag, done func(error)) {
+	// Free-zone cliff: park user work while GC needs headroom; GC's own
+	// migrations (classGC) bypass.
+	if class != classGC {
+		for _, ds := range c.devs {
+			if len(ds.freeZones) <= c.stallFloor() && ds.pickVictim() >= 0 {
+				ds.stalled = append(ds.stalled, func() {
+					c.appendChunk(lbn, payload, class, tag, done)
+				})
+				c.maybeStartGC(ds)
+				return
+			}
+		}
+	}
+	st := c.open[class]
+	if st == nil || st.count >= c.nData {
+		ns, err := c.newStripe(class)
+		if err != nil {
+			// Transient: open-zone slots exhausted while retired zones
+			// drain. Park and retry when a slot frees.
+			c.allocWaiters = append(c.allocWaiters, func() {
+				c.appendChunk(lbn, payload, class, tag, done)
+			})
+			return
+		}
+		st = ns
+		c.open[class] = st
+	}
+	// Data device: skip the stripe's parity devices, rotating through the
+	// remainder by chunk index so stripe members stay distinct.
+	dev := c.stripeDataDevice(st, st.count)
+	ds := c.devs[dev]
+	zs, off, err := ds.alloc(class)
+	if err != nil {
+		c.allocWaiters = append(c.allocWaiters, func() {
+			c.appendChunk(lbn, payload, class, tag, done)
+		})
+		return
+	}
+	// Invalidate the previous copy.
+	c.invalidate(lbn)
+
+	sn := st.sn
+	se := c.smt[sn]
+	se.chunks = append(se.chunks, pa{dev: dev, zone: zs.id, off: off})
+	se.lbns = append(se.lbns, lbn)
+	se.valid++
+	se.pending++
+	c.bmt[lbn] = bmtEntry{pa: pa{dev: dev, zone: zs.id, off: off}, sn: sn}
+	zs.rmapLBN[off] = lbn
+	zs.rmapStripe[off] = sn
+	zs.valid++
+	c.acct.Charge(cpumodel.CompBIZA, cpumodel.CostMapUpdate)
+
+	c.seq++
+	seq := c.seq
+	pending := 2
+	var firstErr error
+	finish := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		pending--
+		if pending == 0 && done != nil {
+			done(firstErr)
+		}
+	}
+	ds.submitChunk(zs, schedOp{
+		off: off, data: payload,
+		oob: encodeOOB(oobKindData, lbn, sn, seq, st.count), tag: tag,
+		done: func(r zns.WriteResult) {
+			se.pending--
+			finish(r.Err)
+		},
+	})
+
+	// Partial parity: fold the chunk into every row's accumulator and
+	// rewrite the parity slots in place (§4.2: partial parities always own
+	// ZRWA). The first write of each slot is its append; later updates are
+	// in-place and absorbed by the device buffer. A slot flushed out of
+	// its window (stripe lingered) is relocated.
+	if payload != nil {
+		if st.accs == nil {
+			st.accs = make([][]byte, c.cfg.Parity)
+			for r := range st.accs {
+				st.accs[r] = make([]byte, c.blockSize)
+			}
+		}
+		for r := range st.accs {
+			erasure.MulXor(c.coder.Coeff(r, st.count), payload, st.accs[r])
+		}
+		c.acct.ChargeParity(cpumodel.CompBIZA, int64(c.blockSize)*int64(c.cfg.Parity))
+	}
+	st.count++
+	if st.count >= c.nData {
+		se.sealed = true
+		c.open[class] = nil
+	}
+	c.writeStripeParity(st, se, class, seq, func(err error) { finish(err) })
+}
+
+// writeStripeParity schedules a rewrite of the stripe's parity slot with
+// the current accumulator. Only one parity write per stripe is in flight:
+// concurrent chunk appends coalesce onto the next write (same-slot
+// delivery reordering would otherwise leave a stale accumulator final).
+func (c *Core) writeStripeParity(st *openStripe, se *smtEntry, class Class, seq uint64, done func(error)) {
+	st.parityWaiters = append(st.parityWaiters, done)
+	if st.parityBusy {
+		st.parityDirty = true
+		return
+	}
+	c.issueParity(st, se, class, seq)
+}
+
+func (c *Core) issueParity(st *openStripe, se *smtEntry, class Class, seq uint64) {
+	st.parityBusy = true
+	st.parityDirty = false
+	m := len(st.parity)
+	remaining := m
+	var firstErr error
+	parityDone := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		if st.parityDirty {
+			c.issueParity(st, se, class, c.seq)
+			return
+		}
+		st.parityBusy = false
+		waiters := st.parityWaiters
+		st.parityWaiters = nil
+		for _, w := range waiters {
+			if w != nil {
+				w(firstErr)
+			}
+		}
+	}
+	wasWritten := st.parityWritten
+	st.parityWritten = true
+	for r := 0; r < m; r++ {
+		ppa := st.parity[r]
+		pds := c.devs[ppa.dev]
+		pzs := pds.zones[ppa.zone]
+		var parityData []byte
+		if st.accs != nil {
+			parityData = append([]byte(nil), st.accs[r]...)
+		}
+		c.parityBytes += uint64(c.blockSize)
+		inWindow := pzs != nil && !pzs.sealedF && ppa.off >= pzs.devWP(c.zrwaBlocks)
+		if inWindow {
+			pds.submitChunk(pzs, schedOp{
+				off: ppa.off, inplace: wasWritten, data: parityData,
+				oob: encodeOOB(oobKindParity, int64(r), st.sn, seq, r), tag: zns.TagParity,
+				done: func(w zns.WriteResult) { parityDone(w.Err) },
+			})
+			continue
+		}
+		// Relocate: free the stale slot and append the full partial parity
+		// to a fresh slot on the same device (member distinctness holds).
+		if pzs != nil && pzs.rmapSN[ppa.off] == st.sn {
+			pzs.rmapSN[ppa.off] = -1
+			pzs.valid--
+		}
+		nzs, noff, err := pds.alloc(class)
+		if err != nil {
+			parityDone(err)
+			continue
+		}
+		st.parity[r] = pa{dev: ppa.dev, zone: nzs.id, off: noff}
+		se.parity[r] = st.parity[r]
+		nzs.rmapSN[noff] = st.sn
+		nzs.valid++
+		pds.submitChunk(nzs, schedOp{
+			off: noff, data: parityData,
+			oob: encodeOOB(oobKindParity, int64(r), st.sn, seq, r), tag: zns.TagParity,
+			done: func(w zns.WriteResult) { parityDone(w.Err) },
+		})
+	}
+}
+
+// stripeDataDevice maps a stripe's chunk index to a member device,
+// skipping the stripe's parity devices.
+func (c *Core) stripeDataDevice(st *openStripe, idx int) int {
+	isParity := func(d int) bool {
+		for _, p := range st.parity {
+			if p.dev == d {
+				return true
+			}
+		}
+		return false
+	}
+	base := st.parity[0].dev
+	seen := 0
+	for i := 1; i <= len(c.devs); i++ {
+		d := (base + i) % len(c.devs)
+		if isParity(d) {
+			continue
+		}
+		if seen == idx {
+			return d
+		}
+		seen++
+	}
+	panic("core: stripe data device out of range")
+}
+
+// newStripe opens a stripe for a class: rotates the parity devices and
+// allocates one parity slot from each of their class groups.
+func (c *Core) newStripe(class Class) (*openStripe, error) {
+	m := c.cfg.Parity
+	base := c.parityRot % len(c.devs)
+	c.parityRot++
+	sn := c.nextSN
+	parity := make([]pa, m)
+	for r := 0; r < m; r++ {
+		pdev := (base + r) % len(c.devs)
+		pds := c.devs[pdev]
+		pzs, poff, err := pds.alloc(class)
+		if err != nil {
+			// Roll back slots already taken for this stripe.
+			for rr := 0; rr < r; rr++ {
+				q := parity[rr]
+				if zs := c.devs[q.dev].zones[q.zone]; zs != nil && zs.rmapSN[q.off] == sn {
+					zs.rmapSN[q.off] = -1
+					zs.valid--
+				}
+			}
+			return nil, err
+		}
+		parity[r] = pa{dev: pdev, zone: pzs.id, off: poff}
+		pzs.rmapSN[poff] = sn
+		pzs.valid++
+	}
+	c.nextSN++
+	st := &openStripe{sn: sn, parity: parity}
+	c.smt[sn] = &smtEntry{parity: append([]pa(nil), parity...)}
+	return st, nil
+}
+
+// invalidate drops the previous copy of a logical block: clears its zone
+// slot and its stripe membership; fully dead sealed stripes release their
+// parity slots and vanish.
+func (c *Core) invalidate(lbn int64) {
+	e, ok := c.bmt[lbn]
+	if !ok {
+		return
+	}
+	ds := c.devs[e.pa.dev]
+	if zs := ds.zones[e.pa.zone]; zs != nil && zs.rmapLBN[e.pa.off] == lbn {
+		zs.rmapLBN[e.pa.off] = -1
+		zs.valid--
+	}
+	if se := c.smt[e.sn]; se != nil {
+		for i, p := range se.chunks {
+			if p == e.pa && se.lbns[i] == lbn {
+				// Keep the slot address: its content still feeds the
+				// stripe's parity for reconstruction; only liveness drops.
+				se.lbns[i] = -1
+				se.valid--
+				break
+			}
+		}
+		if se.valid == 0 && se.sealed && se.pending == 0 {
+			c.releaseStripe(e.sn, se)
+		}
+	}
+	delete(c.bmt, lbn)
+}
+
+// releaseStripe frees a dead stripe's parity slots, clears its slots'
+// stripe ownership, and forgets it.
+func (c *Core) releaseStripe(sn int64, se *smtEntry) {
+	for _, p := range se.parity {
+		if p.dev < 0 {
+			continue
+		}
+		if zs := c.devs[p.dev].zones[p.zone]; zs != nil && zs.rmapSN[p.off] == sn {
+			zs.rmapSN[p.off] = -1
+			zs.valid--
+		}
+	}
+	for _, p := range se.chunks {
+		if p.dev < 0 {
+			continue
+		}
+		if zs := c.devs[p.dev].zones[p.zone]; zs != nil && zs.rmapStripe[p.off] == sn {
+			zs.rmapStripe[p.off] = -1
+		}
+	}
+	delete(c.smt, sn)
+}
+
+// Trim implements blockdev.Device.
+func (c *Core) Trim(lba int64, nblocks int) {
+	for i := int64(0); i < int64(nblocks); i++ {
+		c.invalidate(lba + i)
+	}
+}

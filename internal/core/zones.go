@@ -1,0 +1,525 @@
+package core
+
+import (
+	"fmt"
+
+	"biza/internal/cpumodel"
+	"biza/internal/nvme"
+	"biza/internal/zns"
+)
+
+// zoneState is the host-side view of one open or full zone, including the
+// §4.4 scheduler state: the allocation cursor, the completed prefix (the
+// sliding window's left edge), and the queue of writes waiting for the
+// window to slide.
+type zoneState struct {
+	id    int
+	class Class
+
+	wpAlloc      int64 // next append offset (allocation cursor)
+	maxSubmitted int64 // highest append offset handed to the driver
+	donePrefix   int64 // all appends below this offset have completed
+	doneSet      map[int64]bool
+	inflight     int
+	pendq        []appendBatch // batches waiting for the window (ascending)
+
+	// stage accumulates contiguous appends submitted within one event so
+	// they go to the device as one multi-block command (the block layer's
+	// request merging; without it 4 KiB chunk traffic drowns in
+	// per-command overhead).
+	stage        *appendBatch
+	stagePending bool
+
+	// ipOffsets tracks outstanding in-place writes: the window must not
+	// slide past them while they are in flight, or a reordered delivery
+	// could land behind the device's committed boundary.
+	ipOffsets map[int64]int
+
+	rmapLBN    []int64 // off -> logical block (live data chunks), -1 otherwise
+	rmapSN     []int64 // off -> stripe number (parity chunks), -1 otherwise
+	rmapStripe []int64 // off -> owning stripe of the data slot (live or stale)
+	valid      int64
+	sealedF    bool // finishing/finished: no further writes accepted
+}
+
+type schedOp struct {
+	off     int64
+	inplace bool
+	// reserved marks in-place ops whose window pin (ipOffsets) was taken
+	// at admission time — before any asynchronous reads — so the window
+	// cannot slide past the slot while the read-modify-write is in flight.
+	reserved bool
+	data     []byte
+	oob      []byte
+	tag      zns.WriteTag
+	done     func(zns.WriteResult)
+}
+
+// appendBatch is a run of contiguous append chunks dispatched as one
+// device write.
+type appendBatch struct {
+	off int64
+	ops []schedOp
+}
+
+func (b *appendBatch) end() int64 { return b.off + int64(len(b.ops)) }
+
+// slotDone reports whether the append that first wrote a slot has
+// completed. In-place updates require it: rewriting a slot whose append is
+// still queued or in flight would race delivery order (stale content could
+// win) or even extend the device window unexpectedly.
+func (zs *zoneState) slotDone(off int64) bool {
+	return off < zs.donePrefix || zs.doneSet[off]
+}
+
+// devWP reports the host's conservative estimate of the device's committed
+// boundary: the window cannot start later than maxSubmitted+1-ZRWA.
+func (zs *zoneState) devWP(zrwa int64) int64 {
+	wp := zs.maxSubmitted + 1 - zrwa
+	if wp < 0 {
+		wp = 0
+	}
+	return wp
+}
+
+// devState manages one member device: zone groups per class, the free
+// pool, the guess-and-verify channel map, and BUSY-channel bookkeeping.
+type devState struct {
+	c  *Core
+	id int
+	q  *nvme.Queue
+
+	zones  []*zoneState // by zone id; nil for zones in the free pool
+	groups [numClasses][]*zoneState
+	rr     [numClasses]int
+
+	freeZones []int
+	fullZones []int // candidates for GC victim selection
+
+	guessed   []int // zone -> guessed channel
+	confirmed []bool
+	votes     []map[int]int
+
+	busy     map[int]int  // channel -> refcount of GC activity
+	busyConf map[int]bool // channel marked from a confirmed zone
+
+	gcRunning bool
+	stalled   []func()
+}
+
+func newDevState(c *Core, id int, q *nvme.Queue) (*devState, error) {
+	cfg := q.Device().Config()
+	ds := &devState{
+		c:         c,
+		id:        id,
+		q:         q,
+		zones:     make([]*zoneState, cfg.NumZones),
+		guessed:   make([]int, cfg.NumZones),
+		confirmed: make([]bool, cfg.NumZones),
+		votes:     make([]map[int]int, cfg.NumZones),
+		busy:      make(map[int]int),
+		busyConf:  make(map[int]bool),
+	}
+	for z := 0; z < cfg.NumZones; z++ {
+		ds.freeZones = append(ds.freeZones, z)
+		ds.guessed[z] = z % cfg.NumChannels // round-robin guess (§4.3)
+	}
+	// Open the initial zone groups.
+	for class := Class(0); class < numClasses; class++ {
+		for i := 0; i < c.cfg.ZonesPerGroup; i++ {
+			zs, err := ds.openNewZone(class)
+			if err != nil {
+				return nil, err
+			}
+			ds.groups[class] = append(ds.groups[class], zs)
+		}
+	}
+	return ds, nil
+}
+
+// diagnose confirms the channel of the first k zones via the zone-to-zone
+// diagnosis of §3.3 (pairwise write bursts and latency comparison). The
+// procedure is accurate on real hardware — the paper's objection is its
+// cost, which BIZA pays only once at creation — so the simulation grants
+// it oracle accuracy.
+func (ds *devState) diagnose(k int) {
+	for z := 0; z < k && z < len(ds.guessed); z++ {
+		ds.guessed[z] = ds.q.Device().TrueChannelOf(z)
+		ds.confirmed[z] = true
+	}
+}
+
+// openNewZone takes a free zone, opens it with ZRWA, and returns its state.
+func (ds *devState) openNewZone(class Class) (*zoneState, error) {
+	if len(ds.freeZones) == 0 {
+		return nil, fmt.Errorf("core: device %d out of free zones", ds.id)
+	}
+	// Prefer a free zone whose guessed channel is distinct from the other
+	// zones already in this group (a zone group spans channels, §4.1).
+	used := map[int]bool{}
+	for _, zs := range ds.groups[class] {
+		if zs != nil && !zs.sealedF {
+			used[ds.guessed[zs.id]] = true
+		}
+	}
+	pick := -1
+	for i, z := range ds.freeZones {
+		if !used[ds.guessed[z]] {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		pick = 0
+	}
+	z := ds.freeZones[pick]
+	ds.freeZones = append(ds.freeZones[:pick], ds.freeZones[pick+1:]...)
+	ch, err := ds.q.Device().OpenReport(z, true)
+	if err != nil {
+		// Typically ErrTooManyOpen while retired zones drain; the zone
+		// returns to the pool and the caller parks until a slot frees.
+		ds.freeZones = append(ds.freeZones, z)
+		return nil, fmt.Errorf("core: open zone %d on device %d: %w", z, ds.id, err)
+	}
+	if ch >= 0 {
+		// §6 future-ZNS device: the OPEN completion carries the channel,
+		// making the guess-and-verify machinery unnecessary for this zone.
+		ds.guessed[z] = ch
+		ds.confirmed[z] = true
+	}
+	zb := ds.c.zoneBlocks
+	zs := &zoneState{
+		id:         z,
+		class:      class,
+		doneSet:    make(map[int64]bool),
+		ipOffsets:  make(map[int64]int),
+		rmapLBN:    makeFilled(zb, -1),
+		rmapSN:     makeFilled(zb, -1),
+		rmapStripe: makeFilled(zb, -1),
+	}
+	ds.zones[z] = zs
+	return zs, nil
+}
+
+func makeFilled(n int64, v int64) []int64 {
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// channelBusy reports whether a channel carries GC traffic.
+func (ds *devState) channelBusy(ch int) bool { return ds.busy[ch] > 0 }
+
+// markBusy tags the guessed channel of zone z as BUSY for the duration of
+// a GC phase; fromConfirmed notes whether the channel identity is certain.
+func (ds *devState) markBusy(z int) (ch int, release func()) {
+	ch = ds.guessed[z]
+	ds.busy[ch]++
+	if ds.confirmed[z] {
+		ds.busyConf[ch] = true
+	}
+	released := false
+	return ch, func() {
+		if released {
+			return
+		}
+		released = true
+		ds.busy[ch]--
+		if ds.busy[ch] <= 0 {
+			delete(ds.busy, ch)
+			delete(ds.busyConf, ch)
+		}
+	}
+}
+
+// pickZone selects the destination zone within a class group, preferring
+// zones whose guessed channel is not BUSY (§4.3's GC avoidance). A full
+// zone encountered during selection is replaced with a fresh one.
+func (ds *devState) pickZone(class Class) (*zoneState, error) {
+	ds.c.acct.Charge(cpumodel.CompBIZA, cpumodel.CostSchedule)
+	group := ds.groups[class]
+	n := len(group)
+	avoid := ds.c.cfg.EnableGCAvoid && len(ds.busy) > 0
+	var fallback *zoneState
+	for try := 0; try < n; try++ {
+		slot := (ds.rr[class] + try) % n
+		zs := group[slot]
+		if zs == nil || zs.wpAlloc >= ds.c.zoneBlocks {
+			nz, err := ds.openNewZone(class)
+			if err != nil {
+				if zs != nil && zs.wpAlloc < ds.c.zoneBlocks {
+					fallback = zs
+					continue
+				}
+				continue
+			}
+			if zs != nil {
+				ds.retireZone(zs)
+			}
+			group[slot] = nz
+			zs = nz
+		}
+		if avoid && ds.channelBusy(ds.guessed[zs.id]) {
+			fallback = zs
+			continue
+		}
+		ds.rr[class] = (slot + 1) % n
+		return zs, nil
+	}
+	if fallback != nil {
+		// Every candidate is on a BUSY channel (or no fresh zones): write
+		// anyway rather than stall the user.
+		return fallback, nil
+	}
+	return nil, fmt.Errorf("core: device %d has no writable zone for class %v", ds.id, class)
+}
+
+// alloc reserves the next append slot in the chosen zone of a class group.
+func (ds *devState) alloc(class Class) (*zoneState, int64, error) {
+	zs, err := ds.pickZone(class)
+	if err != nil {
+		return nil, 0, err
+	}
+	off := zs.wpAlloc
+	zs.wpAlloc++
+	return zs, off, nil
+}
+
+// submitChunk runs a chunk write through the §4.4 sliding-window
+// scheduler: appends beyond the window wait for completions to slide it;
+// in-place updates (already inside the device window) dispatch directly
+// and pin the window so it cannot slide past them while in flight.
+// Contiguous appends stage into one multi-block device command.
+func (ds *devState) submitChunk(zs *zoneState, op schedOp) {
+	ds.c.acct.Charge(cpumodel.CompIO, cpumodel.CostSubmission)
+	if op.inplace {
+		if !op.reserved {
+			zs.ipOffsets[op.off]++
+		}
+		ds.dispatchInPlace(zs, op)
+		return
+	}
+	maxBatch := ds.c.cfg.MaxBatchBlocks
+	if maxBatch == 0 {
+		maxBatch = ds.c.zrwaBlocks / 4
+	}
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if zs.stage != nil && zs.stage.end() == op.off && int64(len(zs.stage.ops)) < maxBatch {
+		zs.stage.ops = append(zs.stage.ops, op)
+		return
+	}
+	ds.flushStage(zs)
+	zs.stage = &appendBatch{off: op.off, ops: []schedOp{op}}
+	if !zs.stagePending {
+		zs.stagePending = true
+		ds.c.eng.After(0, func() {
+			zs.stagePending = false
+			ds.flushStage(zs)
+		})
+	}
+}
+
+// flushStage moves the staged batch to dispatch or the window queue.
+func (ds *devState) flushStage(zs *zoneState) {
+	if zs.stage == nil {
+		return
+	}
+	b := *zs.stage
+	zs.stage = nil
+	if len(zs.pendq) == 0 && ds.canAppend(zs, b.end()-1) {
+		ds.dispatchBatch(zs, b)
+		return
+	}
+	zs.pendq = append(zs.pendq, b)
+}
+
+// canAppend reports whether an append at off keeps every in-flight write
+// of the zone within one ZRWA-sized range: inside the window measured from
+// the completed prefix, and not so far ahead that a reordered delivery
+// would shift the device boundary past an outstanding in-place write.
+func (ds *devState) canAppend(zs *zoneState, off int64) bool {
+	if off >= zs.donePrefix+ds.c.zrwaBlocks {
+		return false
+	}
+	for ip := range zs.ipOffsets {
+		if off >= ip+ds.c.zrwaBlocks {
+			return false
+		}
+	}
+	return true
+}
+
+func (ds *devState) dispatchInPlace(zs *zoneState, op schedOp) {
+	// In-place updates deliberately ignore BUSY tags (§4.3: the ZRWA
+	// buffer is separate from the flash channels), so they are not scored.
+	zs.inflight++
+	var oob [][]byte
+	if op.oob != nil {
+		oob = [][]byte{op.oob}
+	}
+	ds.q.Write(zs.id, op.off, 1, op.data, oob, op.tag, func(r zns.WriteResult) {
+		zs.inflight--
+		ds.c.acct.Charge(cpumodel.CompIO, cpumodel.CostCompletion)
+		zs.ipOffsets[op.off]--
+		if zs.ipOffsets[op.off] <= 0 {
+			delete(zs.ipOffsets, op.off)
+		}
+		ds.c.observeLatency(ds, zs, r)
+		if op.done != nil {
+			op.done(r)
+		}
+		ds.drain(zs)
+		ds.maybeFinish(zs)
+	})
+}
+
+func (ds *devState) dispatchBatch(zs *zoneState, b appendBatch) {
+	ds.c.scoreDispatch(ds, zs)
+	zs.inflight++
+	if b.end()-1 > zs.maxSubmitted {
+		zs.maxSubmitted = b.end() - 1
+	}
+	n := len(b.ops)
+	var data []byte
+	var oob [][]byte
+	hasData, hasOOB := false, false
+	for _, op := range b.ops {
+		if op.data != nil {
+			hasData = true
+		}
+		if op.oob != nil {
+			hasOOB = true
+		}
+	}
+	bs := ds.c.blockSize
+	if hasData {
+		data = make([]byte, n*bs)
+		for i, op := range b.ops {
+			if op.data != nil {
+				copy(data[i*bs:], op.data)
+			}
+		}
+	}
+	if hasOOB {
+		oob = make([][]byte, n)
+		for i, op := range b.ops {
+			oob[i] = op.oob
+		}
+	}
+	ds.q.Write(zs.id, b.off, n, data, oob, b.ops[0].tag, func(r zns.WriteResult) {
+		zs.inflight--
+		ds.c.acct.Charge(cpumodel.CompIO, cpumodel.CostCompletion)
+		for i := range b.ops {
+			ds.markDone(zs, b.off+int64(i))
+		}
+		ds.c.observeLatency(ds, zs, r)
+		for _, op := range b.ops {
+			if op.done != nil {
+				op.done(r)
+			}
+		}
+		ds.drain(zs)
+		ds.maybeFinish(zs)
+	})
+}
+
+// markDone advances the completed prefix over contiguous finished appends.
+func (ds *devState) markDone(zs *zoneState, off int64) {
+	if off == zs.donePrefix {
+		zs.donePrefix++
+		for zs.doneSet[zs.donePrefix] {
+			delete(zs.doneSet, zs.donePrefix)
+			zs.donePrefix++
+		}
+		return
+	}
+	zs.doneSet[off] = true
+}
+
+// drain releases queued batches that now fit entirely inside the window.
+func (ds *devState) drain(zs *zoneState) {
+	for len(zs.pendq) > 0 && ds.canAppend(zs, zs.pendq[0].end()-1) {
+		b := zs.pendq[0]
+		zs.pendq = zs.pendq[1:]
+		ds.dispatchBatch(zs, b)
+	}
+}
+
+// maybeFinish seals a fully allocated, fully completed zone: FINISH flushes
+// the ZRWA tail, releases the open slot, and retries parked allocations.
+func (ds *devState) maybeFinish(zs *zoneState) {
+	if zs.sealedF || zs.wpAlloc < ds.c.zoneBlocks || zs.inflight > 0 ||
+		len(zs.pendq) > 0 || zs.stage != nil {
+		return
+	}
+	zs.sealedF = true
+	if err := ds.q.Device().Finish(zs.id); err == nil {
+		ds.fullZones = append(ds.fullZones, zs.id)
+	}
+	ds.c.maybeStartGC(ds)
+	ds.c.runAllocWaiters()
+}
+
+// retireZone detaches a filled zone from its group (it seals itself once
+// its in-flight writes drain).
+func (ds *devState) retireZone(zs *zoneState) {
+	ds.maybeFinish(zs)
+}
+
+// freeZone returns a collected zone to the pool.
+func (ds *devState) freeZone(z int) {
+	ds.zones[z] = nil
+	for i, fz := range ds.fullZones {
+		if fz == z {
+			ds.fullZones = append(ds.fullZones[:i], ds.fullZones[i+1:]...)
+			break
+		}
+	}
+	ds.freeZones = append(ds.freeZones, z)
+	for len(ds.stalled) > 0 && (len(ds.freeZones) > ds.c.stallFloor() || ds.pickVictim() < 0) {
+		fn := ds.stalled[0]
+		ds.stalled = ds.stalled[1:]
+		fn()
+	}
+	ds.c.runAllocWaiters()
+}
+
+// runAllocWaiters retries work parked on transient allocation failures
+// (open-zone slots exhausted while retired zones drained).
+func (c *Core) runAllocWaiters() {
+	if len(c.allocWaiters) == 0 {
+		return
+	}
+	waiters := c.allocWaiters
+	c.allocWaiters = nil
+	for _, w := range waiters {
+		c.eng.After(0, w)
+	}
+}
+
+// pickVictim returns the full zone with the least valid chunks, or -1.
+func (ds *devState) pickVictim() int {
+	best, bestValid := -1, int64(1)<<62
+	for _, z := range ds.fullZones {
+		zs := ds.zones[z]
+		if zs == nil || zs.inflight > 0 {
+			continue
+		}
+		if zs.valid < bestValid {
+			best, bestValid = z, zs.valid
+		}
+	}
+	return best
+}
+
+func (c *Core) stallFloor() int {
+	f := c.cfg.GCLowWater / 2
+	if f < 2 {
+		f = 2
+	}
+	return f
+}

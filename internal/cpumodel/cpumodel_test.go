@@ -1,0 +1,70 @@
+package cpumodel
+
+import (
+	"testing"
+
+	"biza/internal/sim"
+)
+
+func TestChargeAndQuery(t *testing.T) {
+	var a Accountant
+	a.Charge(CompBIZA, 1000)
+	a.Charge(CompBIZA, 500)
+	a.Charge(CompIO, 300)
+	if a.Ticks(CompBIZA) != 1500 || a.Ticks(CompIO) != 300 {
+		t.Fatalf("ticks wrong: %d/%d", a.Ticks(CompBIZA), a.Ticks(CompIO))
+	}
+	if a.Total() != 1800 {
+		t.Fatalf("total = %d", a.Total())
+	}
+}
+
+func TestUsagePercent(t *testing.T) {
+	var a Accountant
+	a.Charge(CompDmzap, sim.Second/2)
+	if got := a.UsagePercent(CompDmzap, sim.Second); got != 50 {
+		t.Fatalf("usage = %v, want 50", got)
+	}
+	if got := a.UsagePercent(CompDmzap, 0); got != 0 {
+		t.Fatal("zero elapsed should report 0")
+	}
+	a.Charge(CompIO, sim.Second)
+	if got := a.TotalPercent(sim.Second); got != 150 {
+		t.Fatalf("total usage = %v, want 150 (1.5 cores)", got)
+	}
+}
+
+func TestChargeParityScalesWithBytes(t *testing.T) {
+	var a Accountant
+	a.ChargeParity(CompMdraid, 64<<10)
+	if a.Ticks(CompMdraid) != CostParityPerKB*64 {
+		t.Fatalf("parity charge = %d", a.Ticks(CompMdraid))
+	}
+}
+
+func TestNegativeChargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative charge did not panic")
+		}
+	}()
+	var a Accountant
+	a.Charge(CompIO, -1)
+}
+
+func TestReset(t *testing.T) {
+	var a Accountant
+	a.Charge(CompRAIZN, 42)
+	a.Reset()
+	if a.Total() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestComponentStrings(t *testing.T) {
+	for c := CompMdraid; c < numComponents; c++ {
+		if c.String() == "unknown" {
+			t.Fatalf("component %d has no name", c)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package dmzap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"biza/internal/blockdev"
+	"biza/internal/cpumodel"
+	"biza/internal/nvme"
+	"biza/internal/sim"
+	"biza/internal/zns"
+	"biza/internal/zoneapi"
+)
+
+func newAdapter(t *testing.T) (*sim.Engine, *Adapter, *zns.Device, *cpumodel.Accountant) {
+	t.Helper()
+	eng := sim.NewEngine()
+	dev, err := zns.New(eng, zns.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := nvme.New(dev, nvme.Config{ReorderWindow: 5 * sim.Microsecond, Seed: 7})
+	backend := zoneapi.SingleDevice{Q: q}
+	acct := &cpumodel.Accountant{}
+	a, err := New(backend, DefaultConfig(backend.Zones(), backend.MaxOpenZones()), acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, a, dev, acct
+}
+
+func wsync(eng *sim.Engine, a *Adapter, lba int64, n int, data []byte) blockdev.WriteResult {
+	var res blockdev.WriteResult
+	ok := false
+	a.Write(lba, n, data, func(r blockdev.WriteResult) { res = r; ok = true })
+	eng.Run()
+	if !ok {
+		panic("write hung")
+	}
+	return res
+}
+
+func rsync(eng *sim.Engine, a *Adapter, lba int64, n int) blockdev.ReadResult {
+	var res blockdev.ReadResult
+	ok := false
+	a.Read(lba, n, func(r blockdev.ReadResult) { res = r; ok = true })
+	eng.Run()
+	if !ok {
+		panic("read hung")
+	}
+	return res
+}
+
+func pat(seed byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed ^ byte(i*11)
+	}
+	return b
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	dev, _ := zns.New(eng, zns.TestConfig())
+	backend := zoneapi.SingleDevice{Q: nvme.New(dev, nvme.Config{})}
+	for _, bad := range []Config{
+		{OpenZones: 0, GCLowWater: 1, GCHighWater: 2, OverProvisionZones: 2},
+		{OpenZones: 100, GCLowWater: 1, GCHighWater: 2, OverProvisionZones: 2},
+		{OpenZones: 2, GCLowWater: 2, GCHighWater: 2, OverProvisionZones: 2},
+		{OpenZones: 2, GCLowWater: 1, GCHighWater: 2, OverProvisionZones: 0},
+	} {
+		if _, err := New(backend, bad, nil); err == nil {
+			t.Fatalf("accepted bad config %+v", bad)
+		}
+	}
+}
+
+func TestRandomWriteReadRoundTrip(t *testing.T) {
+	eng, a, _, _ := newAdapter(t)
+	// Random (non-sequential) LBAs — the whole point of the adapter.
+	lbas := []int64{100, 5, 999, 42, 0, 512}
+	for i, lba := range lbas {
+		if r := wsync(eng, a, lba, 1, pat(byte(i+1), 4096)); r.Err != nil {
+			t.Fatalf("write %d: %v", lba, r.Err)
+		}
+	}
+	for i, lba := range lbas {
+		r := rsync(eng, a, lba, 1)
+		if r.Err != nil || !bytes.Equal(r.Data, pat(byte(i+1), 4096)) {
+			t.Fatalf("read %d mismatch (err=%v)", lba, r.Err)
+		}
+	}
+}
+
+func TestOverwriteVisibility(t *testing.T) {
+	eng, a, _, _ := newAdapter(t)
+	for i := 0; i < 5; i++ {
+		wsync(eng, a, 7, 1, pat(byte(i), 4096))
+	}
+	r := rsync(eng, a, 7, 1)
+	if !bytes.Equal(r.Data, pat(4, 4096)) {
+		t.Fatal("stale data after overwrites")
+	}
+}
+
+func TestMultiBlockWriteSplit(t *testing.T) {
+	eng, a, _, _ := newAdapter(t)
+	payload := pat(9, 16*4096)
+	if r := wsync(eng, a, 50, 16, payload); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	r := rsync(eng, a, 50, 16)
+	if !bytes.Equal(r.Data, payload) {
+		t.Fatal("multi-block round trip mismatch")
+	}
+}
+
+func TestUnmappedReadsZero(t *testing.T) {
+	eng, a, _, _ := newAdapter(t)
+	r := rsync(eng, a, 123, 2)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	for _, b := range r.Data {
+		if b != 0 {
+			t.Fatal("unmapped read not zero")
+		}
+	}
+}
+
+func TestOutOfRangeRejected(t *testing.T) {
+	eng, a, _, _ := newAdapter(t)
+	if r := wsync(eng, a, a.Blocks(), 1, nil); !errors.Is(r.Err, blockdev.ErrOutOfRange) {
+		t.Fatalf("err = %v", r.Err)
+	}
+}
+
+func TestOneInFlightPerZoneNoReorderFailures(t *testing.T) {
+	// Heavy concurrent writes through a reordering queue: the adapter's
+	// serialization must prevent any ErrNotSequential failures.
+	eng, a, _, _ := newAdapter(t)
+	var failures int
+	outstanding := 0
+	for i := 0; i < 500; i++ {
+		outstanding++
+		a.Write(int64(i%200), 1, nil, func(r blockdev.WriteResult) {
+			if r.Err != nil {
+				failures++
+			}
+			outstanding--
+		})
+	}
+	eng.Run()
+	if outstanding != 0 {
+		t.Fatalf("%d writes hung", outstanding)
+	}
+	if failures != 0 {
+		t.Fatalf("%d write failures despite serialization", failures)
+	}
+}
+
+func TestSpinLockCPUCharged(t *testing.T) {
+	eng, a, _, acct := newAdapter(t)
+	// Concurrent writes force queueing behind the per-zone lock.
+	for i := 0; i < 200; i++ {
+		a.Write(int64(i), 1, nil, nil)
+	}
+	eng.Run()
+	if acct.Ticks(cpumodel.CompDmzap) == 0 {
+		t.Fatal("no CPU charged to dmzap component")
+	}
+}
+
+func TestGCReclaimsAndPreservesData(t *testing.T) {
+	eng, a, _, _ := newAdapter(t)
+	// Working set ~40% of logical space, overwritten repeatedly: forces GC.
+	span := a.Blocks() * 2 / 5
+	rng := sim.NewRNG(3)
+	for i := 0; i < int(span)*6; i++ {
+		lba := rng.Int63n(span)
+		wsync(eng, a, lba, 1, pat(byte(lba), 4096))
+	}
+	eng.Run()
+	if a.GCEvents() == 0 {
+		t.Fatal("GC never ran")
+	}
+	// All data must survive migration.
+	for lba := int64(0); lba < span; lba += 17 {
+		r := rsync(eng, a, lba, 1)
+		if r.Err != nil {
+			t.Fatalf("read %d after GC: %v", lba, r.Err)
+		}
+		if r.Data[0] != (pat(byte(lba), 4096))[0] {
+			t.Fatalf("data corrupted by GC at %d", lba)
+		}
+	}
+	wa := a.WriteAmp()
+	if wa.Factor() <= 1.0 {
+		t.Fatalf("WA = %.2f after forced GC, want > 1", wa.Factor())
+	}
+}
+
+func TestTrimPreventsMigration(t *testing.T) {
+	eng, a, _, _ := newAdapter(t)
+	span := a.Blocks() / 2
+	for round := 0; round < 4; round++ {
+		for lba := int64(0); lba < span; lba++ {
+			wsync(eng, a, lba, 1, nil)
+		}
+		a.Trim(0, int(span))
+	}
+	eng.Run()
+	wa := a.WriteAmp()
+	if wa.GCMigratedBytes > wa.UserBytes/10 {
+		t.Fatalf("GC migrated %d bytes of trimmed data (user %d)", wa.GCMigratedBytes, wa.UserBytes)
+	}
+}
+
+func TestFlashAccountingMatchesBackend(t *testing.T) {
+	eng, a, dev, _ := newAdapter(t)
+	for i := 0; i < 64; i++ {
+		wsync(eng, a, int64(i), 1, nil)
+	}
+	// Flush open zones so every block reaches flash.
+	eng.Run()
+	st := dev.Stats()
+	if st.ProgrammedByTag(zns.TagUserData) == 0 {
+		t.Fatal("no user bytes reached flash")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (uint64, uint64) {
+		eng, a, _, _ := newAdapter(t)
+		rng := sim.NewRNG(21)
+		for i := 0; i < 1500; i++ {
+			wsync(eng, a, rng.Int63n(a.Blocks()/3), 1, nil)
+		}
+		eng.Run()
+		wa := a.WriteAmp()
+		return wa.FlashDataBytes, a.GCEvents()
+	}
+	a1, g1 := run()
+	a2, g2 := run()
+	if a1 != a2 || g1 != g2 {
+		t.Fatalf("replay diverged: %d/%d vs %d/%d", a1, g1, a2, g2)
+	}
+}

@@ -1,0 +1,638 @@
+// Package ftl simulates a conventional block-interface SSD: a page-mapped
+// flash translation layer with greedy garbage collection over the same
+// channel/die resource model as the ZNS simulator. It is the substrate for
+// the paper's mdraid+ConvSSD baseline (WD SN640), whose behaviour —
+// device-hidden GC producing write amplification and latency spikes — is
+// exactly what BIZA's host-controlled design eliminates.
+package ftl
+
+import (
+	"fmt"
+
+	"biza/internal/blockdev"
+	"biza/internal/metrics"
+	"biza/internal/sim"
+)
+
+// Config describes the simulated conventional SSD.
+type Config struct {
+	Name string
+
+	BlockSize      int     // logical block / flash page size in bytes
+	PagesPerBlock  int     // flash pages per erase block
+	FlashBlocks    int     // total erase blocks
+	OverProvision  float64 // fraction of raw capacity reserved (not host-visible)
+	NumChannels    int
+	DiesPerChannel int
+
+	ChannelWriteBW int64
+	ChannelReadBW  int64
+	DieWriteBW     int64
+	DieReadBW      int64
+	DeviceWriteBW  int64
+	DeviceReadBW   int64
+
+	CmdOverhead     sim.Time
+	BufWriteLatency sim.Time
+	DieReadLatency  sim.Time
+	EraseLatency    sim.Time
+
+	// CacheBlocks is the device DRAM write-cache size in pages; writes are
+	// acknowledged from cache and drain to flash in the background.
+	CacheBlocks int64
+
+	// GC watermarks in free erase blocks.
+	GCLowWater  int
+	GCHighWater int
+
+	Seed      uint64
+	StoreData bool
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.BlockSize <= 0 || c.PagesPerBlock <= 0 || c.FlashBlocks <= 0:
+		return fmt.Errorf("ftl: bad geometry %+v", *c)
+	case c.OverProvision < 0 || c.OverProvision >= 0.9:
+		return fmt.Errorf("ftl: over-provision %v", c.OverProvision)
+	case c.NumChannels <= 0 || c.DiesPerChannel <= 0:
+		return fmt.Errorf("ftl: bad parallelism")
+	case c.ChannelWriteBW <= 0 || c.ChannelReadBW <= 0 || c.DieWriteBW <= 0 ||
+		c.DieReadBW <= 0 || c.DeviceWriteBW <= 0 || c.DeviceReadBW <= 0:
+		return fmt.Errorf("ftl: non-positive bandwidth")
+	case c.GCLowWater < 1 || c.GCHighWater <= c.GCLowWater:
+		return fmt.Errorf("ftl: bad GC watermarks %d/%d", c.GCLowWater, c.GCHighWater)
+	}
+	return nil
+}
+
+// SN640 returns the Western Digital Ultrastar DC SN640 preset (Table 5):
+// 2250/3331 MB/s write/read — a few percent above the ZN540, per the paper.
+// totalBlocks scales capacity; use small values in tests.
+func SN640(flashBlocks int) Config {
+	return Config{
+		Name:            "WD SN640",
+		BlockSize:       4096,
+		PagesPerBlock:   256, // 1 MiB erase blocks
+		FlashBlocks:     flashBlocks,
+		OverProvision:   0.12,
+		NumChannels:     8,
+		DiesPerChannel:  4,
+		ChannelWriteBW:  1130e6,
+		ChannelReadBW:   1666e6,
+		DieWriteBW:      565e6,
+		DieReadBW:       900e6,
+		DeviceWriteBW:   2250e6,
+		DeviceReadBW:    3331e6,
+		CmdOverhead:     3 * sim.Microsecond,
+		BufWriteLatency: 8 * sim.Microsecond,
+		DieReadLatency:  25 * sim.Microsecond,
+		EraseLatency:    2 * sim.Millisecond,
+		CacheBlocks:     4096, // 16 MiB device cache
+		GCLowWater:      flashBlocks / 32,
+		GCHighWater:     flashBlocks / 16,
+	}
+}
+
+// TestConfig returns a small fast geometry for unit tests.
+func TestConfig() Config {
+	return Config{
+		Name:            "ftl-test",
+		BlockSize:       4096,
+		PagesPerBlock:   16,
+		FlashBlocks:     64,
+		OverProvision:   0.25,
+		NumChannels:     4,
+		DiesPerChannel:  2,
+		ChannelWriteBW:  1000e6,
+		ChannelReadBW:   1600e6,
+		DieWriteBW:      500e6,
+		DieReadBW:       900e6,
+		DeviceWriteBW:   2000e6,
+		DeviceReadBW:    3200e6,
+		CmdOverhead:     3 * sim.Microsecond,
+		BufWriteLatency: 8 * sim.Microsecond,
+		DieReadLatency:  25 * sim.Microsecond,
+		EraseLatency:    500 * sim.Microsecond,
+		CacheBlocks:     32,
+		GCLowWater:      4,
+		GCHighWater:     8,
+		StoreData:       true,
+	}
+}
+
+const invalidPPN = int64(-1)
+
+type flashBlock struct {
+	channel  int
+	nextPage int // allocation cursor
+	valid    int // count of valid pages
+	erases   uint64
+	full     bool
+	free     bool
+}
+
+type channelRes struct {
+	writeBus *sim.Resource
+	readBus  *sim.Resource
+	dies     *sim.Resource
+}
+
+// Device is the simulated conventional SSD. It implements blockdev.Device.
+type Device struct {
+	cfg Config
+	eng *sim.Engine
+
+	l2p  []int64 // logical page -> physical page (flat), invalidPPN if unmapped
+	p2l  []int64 // physical page -> logical page, invalidPPN if invalid/free
+	data map[int64][]byte
+
+	blocks   []flashBlock
+	freeList []int
+	active   []int // per-channel active block for user writes
+	gcBlk    int   // single active block for GC migration
+	chans    []*channelRes
+
+	controller *sim.Resource
+	writeLink  *sim.Resource
+	readLink   *sim.Resource
+
+	cacheCredit int64
+	waiters     []waiter
+	stalled     []func() // allocation parked below the critical watermark
+
+	logicalPages int64
+
+	gcRunning bool
+	gcWaiting bool // collector parked until an in-flight erase frees a block
+	rng       *sim.RNG
+
+	// Accounting.
+	userWritten uint64
+	programmed  uint64
+	gcMigrated  uint64
+	erases      uint64
+	gcEvents    uint64
+}
+
+type waiter struct {
+	need int64
+	run  func()
+}
+
+// New creates a device with all blocks free.
+func New(eng *sim.Engine, cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	totalPages := int64(cfg.FlashBlocks) * int64(cfg.PagesPerBlock)
+	logical := int64(float64(totalPages) * (1 - cfg.OverProvision))
+	d := &Device{
+		cfg:          cfg,
+		eng:          eng,
+		l2p:          make([]int64, logical),
+		p2l:          make([]int64, totalPages),
+		blocks:       make([]flashBlock, cfg.FlashBlocks),
+		active:       make([]int, cfg.NumChannels),
+		controller:   sim.NewResource(eng, 1),
+		writeLink:    sim.NewResource(eng, 1),
+		readLink:     sim.NewResource(eng, 1),
+		cacheCredit:  cfg.CacheBlocks,
+		logicalPages: logical,
+		rng:          sim.NewRNG(cfg.Seed ^ 0xf71),
+	}
+	if cfg.StoreData {
+		d.data = make(map[int64][]byte)
+	}
+	for i := range d.l2p {
+		d.l2p[i] = invalidPPN
+	}
+	for i := range d.p2l {
+		d.p2l[i] = invalidPPN
+	}
+	d.chans = make([]*channelRes, cfg.NumChannels)
+	for i := range d.chans {
+		d.chans[i] = &channelRes{
+			writeBus: sim.NewResource(eng, 1),
+			readBus:  sim.NewResource(eng, 1),
+			dies:     sim.NewResource(eng, cfg.DiesPerChannel),
+		}
+	}
+	for i := range d.blocks {
+		d.blocks[i] = flashBlock{channel: i % cfg.NumChannels, free: true}
+		d.freeList = append(d.freeList, i)
+	}
+	for ch := range d.active {
+		d.active[ch] = d.takeFreeBlock(ch)
+	}
+	d.gcBlk = d.takeFreeBlock(0)
+	return d, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// BlockSize implements blockdev.Device.
+func (d *Device) BlockSize() int { return d.cfg.BlockSize }
+
+// Blocks implements blockdev.Device.
+func (d *Device) Blocks() int64 { return d.logicalPages }
+
+// WriteAmp implements blockdev.WriteAmper: device-level write amplification
+// (user pages vs pages programmed, including GC migration).
+func (d *Device) WriteAmp() metrics.WriteAmp {
+	return metrics.WriteAmp{
+		UserBytes:       d.userWritten,
+		FlashDataBytes:  d.programmed,
+		GCMigratedBytes: d.gcMigrated,
+	}
+}
+
+// GCEvents reports how many victim collections have run.
+func (d *Device) GCEvents() uint64 { return d.gcEvents }
+
+// Erases reports total erase-block erases.
+func (d *Device) Erases() uint64 { return d.erases }
+
+// FreeBlocks reports the current free erase-block count.
+func (d *Device) FreeBlocks() int { return len(d.freeList) }
+
+// takeFreeBlock pops a free block, preferring blocks on channel ch.
+func (d *Device) takeFreeBlock(ch int) int {
+	for i, b := range d.freeList {
+		if d.blocks[b].channel == ch {
+			d.freeList = append(d.freeList[:i], d.freeList[i+1:]...)
+			d.blocks[b].free = false
+			return b
+		}
+	}
+	if len(d.freeList) == 0 {
+		panic("ftl: out of free blocks — GC watermark misconfigured")
+	}
+	b := d.freeList[0]
+	d.freeList = d.freeList[1:]
+	d.blocks[b].free = false
+	return b
+}
+
+// allocPage assigns the next physical page for a write. User writes rotate
+// channels by logical page so sequential streams stripe across channels;
+// GC migration fills one dedicated block at a time (concentrating its
+// interference on one channel, as a real block-granular collector does).
+func (d *Device) allocPage(lpn int64, gc bool) (ppn int64, ch int) {
+	var blk int
+	if gc {
+		fb := &d.blocks[d.gcBlk]
+		if fb.nextPage >= d.cfg.PagesPerBlock {
+			fb.full = true
+			d.gcBlk = d.takeFreeBlock(d.rng.Intn(d.cfg.NumChannels))
+		}
+		blk = d.gcBlk
+	} else {
+		ch = int(lpn) % d.cfg.NumChannels
+		if ch < 0 {
+			ch = -ch
+		}
+		blk = d.active[ch]
+		fb := &d.blocks[blk]
+		if fb.nextPage >= d.cfg.PagesPerBlock {
+			fb.full = true
+			blk = d.takeFreeBlock(ch)
+			d.active[ch] = blk
+		}
+	}
+	fb := &d.blocks[blk]
+	ppn = int64(blk)*int64(d.cfg.PagesPerBlock) + int64(fb.nextPage)
+	fb.nextPage++
+	return ppn, fb.channel
+}
+
+// mapPage installs lpn -> ppn, invalidating any previous mapping.
+func (d *Device) mapPage(lpn, ppn int64) {
+	if old := d.l2p[lpn]; old != invalidPPN {
+		d.p2l[old] = invalidPPN
+		d.blocks[old/int64(d.cfg.PagesPerBlock)].valid--
+	}
+	d.l2p[lpn] = ppn
+	d.p2l[ppn] = lpn
+	d.blocks[ppn/int64(d.cfg.PagesPerBlock)].valid++
+}
+
+// Write implements blockdev.Device: cache-acknowledged page-mapped writes
+// with background drain and GC.
+func (d *Device) Write(lba int64, nblocks int, data []byte, done func(blockdev.WriteResult)) {
+	start := d.eng.Now()
+	fail := func(err error) {
+		if done != nil {
+			d.eng.After(d.cfg.CmdOverhead, func() {
+				done(blockdev.WriteResult{Err: err, Latency: d.eng.Now() - start})
+			})
+		}
+	}
+	n := int64(nblocks)
+	if nblocks <= 0 || lba < 0 || lba+n > d.logicalPages {
+		fail(blockdev.ErrOutOfRange)
+		return
+	}
+	if data != nil && int64(len(data)) != n*int64(d.cfg.BlockSize) {
+		fail(blockdev.ErrBadArgument)
+		return
+	}
+	size := n * int64(d.cfg.BlockSize)
+	d.userWritten += uint64(size)
+
+	// Page allocation happens only once cache credit is granted: the cache
+	// is the device's admission control, which bounds how far allocation
+	// can run ahead of GC and keeps free-block accounting safe.
+	bs := int64(d.cfg.BlockSize)
+	d.controller.Submit(d.cfg.CmdOverhead, func(_, _ sim.Time) {
+		d.acquireCache(n, func() {
+			d.allocWhenSafe(func() {
+				for i := int64(0); i < n; i++ {
+					lpn := lba + i
+					ppn, ch := d.allocPage(lpn, false)
+					d.mapPage(lpn, ppn)
+					if d.data != nil {
+						if data != nil {
+							d.data[lpn] = append([]byte(nil), data[i*bs:(i+1)*bs]...)
+						} else {
+							delete(d.data, lpn)
+						}
+					}
+					d.programPage(ppn, ch, false)
+				}
+				d.maybeStartGC()
+				d.writeLink.Submit(size*sim.Second/d.cfg.DeviceWriteBW, func(_, _ sim.Time) {
+					d.eng.After(d.cfg.BufWriteLatency, func() {
+						if done != nil {
+							done(blockdev.WriteResult{Latency: d.eng.Now() - start})
+						}
+					})
+				})
+			})
+		})
+	})
+}
+
+// programPage schedules the flash program of one page on channel ch and
+// releases one cache credit when it completes.
+func (d *Device) programPage(ppn int64, ch int, gc bool) {
+	size := int64(d.cfg.BlockSize)
+	cr := d.chans[ch]
+	cr.writeBus.Submit(size*sim.Second/d.cfg.ChannelWriteBW, func(_, _ sim.Time) {
+		cr.dies.Submit(size*sim.Second/d.cfg.DieWriteBW, func(_, _ sim.Time) {
+			d.programmed += uint64(size)
+			if gc {
+				d.gcMigrated += uint64(size)
+			} else {
+				d.releaseCache(1)
+			}
+		})
+	})
+}
+
+// criticalWater is the free-block floor below which user allocation stalls
+// (the "write cliff" every flash device exhibits): GC must be guaranteed
+// headroom for its own migration blocks.
+func (d *Device) criticalWater() int {
+	w := d.cfg.GCLowWater / 2
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+// allocWhenSafe runs fn immediately when free blocks are above the critical
+// watermark, or parks it until GC frees space. Parked work resumes in FIFO
+// order, and only stalls while GC can actually make progress.
+func (d *Device) allocWhenSafe(fn func()) {
+	if len(d.freeList) > d.criticalWater() || d.pickVictim() < 0 {
+		fn()
+		return
+	}
+	d.stalled = append(d.stalled, fn)
+	d.maybeStartGC()
+}
+
+func (d *Device) releaseStalled() {
+	for len(d.stalled) > 0 && (len(d.freeList) > d.criticalWater() || d.pickVictim() < 0) {
+		fn := d.stalled[0]
+		d.stalled = d.stalled[1:]
+		fn()
+	}
+}
+
+func (d *Device) acquireCache(need int64, fn func()) {
+	// Requests larger than the cache admit at full-cache granularity (the
+	// real device streams them through); otherwise they could never enter.
+	if need > d.cfg.CacheBlocks {
+		need = d.cfg.CacheBlocks
+	}
+	if len(d.waiters) == 0 && d.cacheCredit >= need {
+		d.cacheCredit -= need
+		fn()
+		return
+	}
+	d.waiters = append(d.waiters, waiter{need: need, run: fn})
+}
+
+func (d *Device) releaseCache(n int64) {
+	d.cacheCredit += n
+	for len(d.waiters) > 0 {
+		w := &d.waiters[0]
+		if d.cacheCredit < w.need {
+			return
+		}
+		d.cacheCredit -= w.need
+		run := w.run
+		d.waiters = d.waiters[1:]
+		run()
+	}
+}
+
+// Read implements blockdev.Device.
+func (d *Device) Read(lba int64, nblocks int, done func(blockdev.ReadResult)) {
+	start := d.eng.Now()
+	fail := func(err error) {
+		if done != nil {
+			d.eng.After(d.cfg.CmdOverhead, func() {
+				done(blockdev.ReadResult{Err: err, Latency: d.eng.Now() - start})
+			})
+		}
+	}
+	n := int64(nblocks)
+	if nblocks <= 0 || lba < 0 || lba+n > d.logicalPages {
+		fail(blockdev.ErrOutOfRange)
+		return
+	}
+	size := n * int64(d.cfg.BlockSize)
+	// Route the read through the channel of the first mapped page (reads of
+	// a multi-page span touch several channels; one-channel routing is a
+	// conservative simplification).
+	ch := int(lba) % d.cfg.NumChannels
+	if ppn := d.l2p[lba]; ppn != invalidPPN {
+		ch = d.blocks[ppn/int64(d.cfg.PagesPerBlock)].channel
+	}
+	finish := func() {
+		if done == nil {
+			return
+		}
+		var data []byte
+		if d.data != nil {
+			data = make([]byte, size)
+			bs := int64(d.cfg.BlockSize)
+			for i := int64(0); i < n; i++ {
+				if src, ok := d.data[lba+i]; ok {
+					copy(data[i*bs:(i+1)*bs], src)
+				}
+			}
+		}
+		done(blockdev.ReadResult{Data: data, Latency: d.eng.Now() - start})
+	}
+	cr := d.chans[ch]
+	d.controller.Submit(d.cfg.CmdOverhead, func(_, _ sim.Time) {
+		cr.readBus.Submit(size*sim.Second/d.cfg.ChannelReadBW, func(_, _ sim.Time) {
+			cr.dies.Submit(d.cfg.DieReadLatency+size*sim.Second/d.cfg.DieReadBW, func(_, _ sim.Time) {
+				d.readLink.Submit(size*sim.Second/d.cfg.DeviceReadBW, func(_, _ sim.Time) {
+					finish()
+				})
+			})
+		})
+	})
+}
+
+// Trim implements blockdev.Device: unmaps the range without flash traffic.
+func (d *Device) Trim(lba int64, nblocks int) {
+	for i := int64(0); i < int64(nblocks); i++ {
+		lpn := lba + i
+		if lpn < 0 || lpn >= d.logicalPages {
+			continue
+		}
+		if old := d.l2p[lpn]; old != invalidPPN {
+			d.p2l[old] = invalidPPN
+			d.blocks[old/int64(d.cfg.PagesPerBlock)].valid--
+			d.l2p[lpn] = invalidPPN
+		}
+		if d.data != nil {
+			delete(d.data, lpn)
+		}
+	}
+}
+
+// maybeStartGC launches the background collector when free blocks drop
+// below the low watermark.
+func (d *Device) maybeStartGC() {
+	if d.gcRunning || len(d.freeList) >= d.cfg.GCLowWater {
+		return
+	}
+	d.gcRunning = true
+	d.eng.After(0, d.gcStep)
+}
+
+// gcStep collects one victim block: reads its valid pages, programs them to
+// GC-active blocks (interfering with user I/O on the shared channels —
+// the device-hidden latency spikes of §2.3), then erases the victim.
+func (d *Device) gcStep() {
+	if len(d.freeList) >= d.cfg.GCHighWater {
+		d.gcRunning = false
+		return
+	}
+	victim := d.pickVictim()
+	if victim < 0 {
+		d.gcRunning = false
+		return
+	}
+	// Migration may need a fresh GC block mid-victim; hold off until an
+	// in-flight erase restores stock rather than overdrawing the free list.
+	if d.blocks[victim].valid > 0 && len(d.freeList) < 2 {
+		d.gcWaiting = true
+		return
+	}
+	d.gcEvents++
+	fb := &d.blocks[victim]
+	fb.full = false // withdraw from victim candidacy while collecting
+	base := int64(victim) * int64(d.cfg.PagesPerBlock)
+	var migrate []int64
+	for p := int64(0); p < int64(d.cfg.PagesPerBlock); p++ {
+		if d.p2l[base+p] != invalidPPN {
+			migrate = append(migrate, base+p)
+		}
+	}
+	size := int64(d.cfg.BlockSize)
+	remaining := len(migrate)
+	finishVictim := func() {
+		// Erase occupies the victim channel's dies; the next victim is
+		// collected concurrently so erases on different channels overlap.
+		cr := d.chans[fb.channel]
+		left := d.cfg.DiesPerChannel
+		for i := 0; i < d.cfg.DiesPerChannel; i++ {
+			cr.dies.Submit(d.cfg.EraseLatency, func(_, _ sim.Time) {
+				left--
+				if left > 0 {
+					return
+				}
+				fb.free = true
+				fb.nextPage = 0
+				fb.erases++
+				d.erases++
+				d.freeList = append(d.freeList, victim)
+				d.releaseStalled()
+				if d.gcWaiting {
+					d.gcWaiting = false
+					d.eng.After(0, d.gcStep)
+				}
+			})
+		}
+		d.eng.After(0, d.gcStep)
+	}
+	if remaining == 0 {
+		finishVictim()
+		return
+	}
+	for _, ppn := range migrate {
+		lpn := d.p2l[ppn]
+		newPPN, ch := d.allocPage(lpn, true)
+		d.mapPage(lpn, newPPN)
+		// Read old page then program new page.
+		src := d.chans[fb.channel]
+		src.readBus.Submit(size*sim.Second/d.cfg.ChannelReadBW, func(_, _ sim.Time) {
+			src.dies.Submit(d.cfg.DieReadLatency+size*sim.Second/d.cfg.DieReadBW, func(_, _ sim.Time) {
+				dst := d.chans[ch]
+				dst.writeBus.Submit(size*sim.Second/d.cfg.ChannelWriteBW, func(_, _ sim.Time) {
+					dst.dies.Submit(size*sim.Second/d.cfg.DieWriteBW, func(_, _ sim.Time) {
+						d.programmed += uint64(size)
+						d.gcMigrated += uint64(size)
+						remaining--
+						if remaining == 0 {
+							finishVictim()
+						}
+					})
+				})
+			})
+		})
+	}
+}
+
+// pickVictim returns the full block with the fewest valid pages (greedy),
+// or -1 when no block is collectible.
+func (d *Device) pickVictim() int {
+	best, bestValid := -1, d.cfg.PagesPerBlock+1
+	for i := range d.blocks {
+		fb := &d.blocks[i]
+		if fb.free || !fb.full {
+			continue
+		}
+		// Skip active blocks.
+		if fb.valid < bestValid {
+			best, bestValid = i, fb.valid
+		}
+	}
+	return best
+}
+
+// ResetAccounting zeroes the device's traffic counters.
+func (d *Device) ResetAccounting() {
+	d.userWritten, d.programmed, d.gcMigrated = 0, 0, 0
+	d.erases, d.gcEvents = 0, 0
+}

@@ -1,0 +1,239 @@
+package ftl
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"biza/internal/blockdev"
+	"biza/internal/sim"
+)
+
+func newDev(t *testing.T) (*sim.Engine, *Device) {
+	t.Helper()
+	eng := sim.NewEngine()
+	d, err := New(eng, TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, d
+}
+
+func wsync(eng *sim.Engine, d *Device, lba int64, n int, data []byte) blockdev.WriteResult {
+	var res blockdev.WriteResult
+	ok := false
+	d.Write(lba, n, data, func(r blockdev.WriteResult) { res = r; ok = true })
+	eng.Run()
+	if !ok {
+		panic("write did not complete")
+	}
+	return res
+}
+
+func rsync(eng *sim.Engine, d *Device, lba int64, n int) blockdev.ReadResult {
+	var res blockdev.ReadResult
+	ok := false
+	d.Read(lba, n, func(r blockdev.ReadResult) { res = r; ok = true })
+	eng.Run()
+	if !ok {
+		panic("read did not complete")
+	}
+	return res
+}
+
+func pattern(seed byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed ^ byte(i*3)
+	}
+	return b
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := TestConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.GCHighWater = bad.GCLowWater
+	if bad.Validate() == nil {
+		t.Fatal("accepted bad watermarks")
+	}
+	bad = good
+	bad.OverProvision = 0.95
+	if bad.Validate() == nil {
+		t.Fatal("accepted absurd over-provisioning")
+	}
+}
+
+func TestCapacityReflectsOverProvision(t *testing.T) {
+	_, d := newDev(t)
+	cfg := d.Config()
+	raw := int64(cfg.FlashBlocks) * int64(cfg.PagesPerBlock)
+	want := int64(float64(raw) * (1 - cfg.OverProvision))
+	if d.Blocks() != want {
+		t.Fatalf("logical blocks = %d, want %d", d.Blocks(), want)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	eng, d := newDev(t)
+	p := pattern(5, 3*4096)
+	if r := wsync(eng, d, 10, 3, p); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	r := rsync(eng, d, 10, 3)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if !bytes.Equal(r.Data, p) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestOverwriteReturnsLatest(t *testing.T) {
+	eng, d := newDev(t)
+	wsync(eng, d, 0, 1, pattern(1, 4096))
+	wsync(eng, d, 0, 1, pattern(2, 4096))
+	r := rsync(eng, d, 0, 1)
+	if !bytes.Equal(r.Data, pattern(2, 4096)) {
+		t.Fatal("overwrite not visible")
+	}
+}
+
+func TestOutOfRangeRejected(t *testing.T) {
+	eng, d := newDev(t)
+	if r := wsync(eng, d, d.Blocks(), 1, nil); !errors.Is(r.Err, blockdev.ErrOutOfRange) {
+		t.Fatalf("oob write err = %v", r.Err)
+	}
+	if r := rsync(eng, d, -1, 1); !errors.Is(r.Err, blockdev.ErrOutOfRange) {
+		t.Fatalf("oob read err = %v", r.Err)
+	}
+}
+
+func TestOverwritesTriggerGC(t *testing.T) {
+	eng, d := newDev(t)
+	// Hammer a working set larger than free-block slack so GC must run.
+	span := d.Blocks() / 2
+	for round := 0; round < 6; round++ {
+		for lba := int64(0); lba < span; lba += 8 {
+			wsync(eng, d, lba, 8, nil)
+		}
+	}
+	eng.Run()
+	if d.GCEvents() == 0 {
+		t.Fatal("no GC despite sustained overwrites")
+	}
+	if d.Erases() == 0 {
+		t.Fatal("GC ran but erased nothing")
+	}
+	if d.FreeBlocks() == 0 {
+		t.Fatal("device ran out of free blocks")
+	}
+}
+
+func TestWriteAmpGrowsUnderRandomOverwrite(t *testing.T) {
+	eng, d := newDev(t)
+	rng := sim.NewRNG(3)
+	span := d.Blocks() * 3 / 4
+	for i := 0; i < 4000; i++ {
+		wsync(eng, d, rng.Int63n(span), 1, nil)
+	}
+	eng.Run()
+	wa := d.WriteAmp()
+	if wa.Factor() <= 1.0 {
+		t.Fatalf("WA = %.2f under random overwrite, want > 1", wa.Factor())
+	}
+	if wa.GCMigratedBytes == 0 {
+		t.Fatal("no migration accounted")
+	}
+}
+
+func TestSequentialOverwriteLowWA(t *testing.T) {
+	// Whole-device sequential rewrites invalidate entire blocks, so greedy
+	// GC should migrate almost nothing: WA stays near 1.
+	eng, d := newDev(t)
+	span := d.Blocks() * 3 / 4
+	for round := 0; round < 8; round++ {
+		for lba := int64(0); lba+8 <= span; lba += 8 {
+			wsync(eng, d, lba, 8, nil)
+		}
+	}
+	eng.Run()
+	wa := d.WriteAmp()
+	if wa.Factor() > 1.3 {
+		t.Fatalf("sequential WA = %.2f, want near 1", wa.Factor())
+	}
+}
+
+func TestTrimInvalidates(t *testing.T) {
+	eng, d := newDev(t)
+	wsync(eng, d, 0, 8, pattern(9, 8*4096))
+	d.Trim(0, 8)
+	r := rsync(eng, d, 0, 1)
+	for _, b := range r.Data {
+		if b != 0 {
+			t.Fatal("trimmed data still readable")
+		}
+	}
+	// Trimmed pages must not be migrated: fill the device and check GC
+	// migrates little.
+	span := d.Blocks() / 2
+	for round := 0; round < 3; round++ {
+		for lba := int64(0); lba < span; lba += 8 {
+			wsync(eng, d, lba, 8, nil)
+			d.Trim(lba, 8)
+		}
+	}
+	eng.Run()
+	wa := d.WriteAmp()
+	if wa.GCMigratedBytes > wa.UserBytes/4 {
+		t.Fatalf("GC migrated %d bytes of trimmed data", wa.GCMigratedBytes)
+	}
+}
+
+func TestGCLatencySpike(t *testing.T) {
+	// Depth-1 write latency while GC is active should spike well above the
+	// quiescent latency — the §2.3 tail-latency observation.
+	quiet := func() int64 {
+		eng, d := newDev(t)
+		r := wsync(eng, d, 0, 1, nil)
+		return r.Latency
+	}()
+	eng, d := newDev(t)
+	// Dirty the device so GC is running.
+	rng := sim.NewRNG(7)
+	span := d.Blocks() * 3 / 4
+	for i := 0; i < 3000; i++ {
+		d.Write(rng.Int63n(span), 1, nil, nil)
+	}
+	var worst int64
+	for i := 0; i < 50; i++ {
+		r := wsync(eng, d, rng.Int63n(span), 1, nil)
+		if r.Latency > worst {
+			worst = r.Latency
+		}
+	}
+	eng.Run()
+	if worst < quiet*3 {
+		t.Fatalf("no GC latency spike: worst %dns vs quiet %dns", worst, quiet)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (uint64, uint64) {
+		eng, d := newDev(t)
+		rng := sim.NewRNG(11)
+		for i := 0; i < 2000; i++ {
+			wsync(eng, d, rng.Int63n(d.Blocks()/2), 1, nil)
+		}
+		eng.Run()
+		wa := d.WriteAmp()
+		return wa.FlashDataBytes, d.Erases()
+	}
+	p1, e1 := run()
+	p2, e2 := run()
+	if p1 != p2 || e1 != e2 {
+		t.Fatalf("replay diverged: %d/%d vs %d/%d", p1, e1, p2, e2)
+	}
+}

@@ -1,0 +1,81 @@
+package metrics
+
+import "fmt"
+
+// WriteAmp accounts flash-level versus user-level write traffic and derives
+// write amplification, the paper's endurance metric (§2.3). Byte counters
+// distinguish data from parity so Fig. 14's stacked bars can be regenerated.
+type WriteAmp struct {
+	UserBytes        uint64 // bytes written by the application/front-end
+	FlashDataBytes   uint64 // data bytes programmed to flash
+	FlashParityBytes uint64 // parity bytes programmed to flash
+	GCMigratedBytes  uint64 // subset of flash writes caused by GC migration
+}
+
+// FlashBytes reports total bytes programmed to flash.
+func (w *WriteAmp) FlashBytes() uint64 { return w.FlashDataBytes + w.FlashParityBytes }
+
+// Factor reports flash writes / user writes, or 0 when no user writes.
+func (w *WriteAmp) Factor() float64 {
+	if w.UserBytes == 0 {
+		return 0
+	}
+	return float64(w.FlashBytes()) / float64(w.UserBytes)
+}
+
+// DataFactor reports flash data writes normalized to user writes.
+func (w *WriteAmp) DataFactor() float64 {
+	if w.UserBytes == 0 {
+		return 0
+	}
+	return float64(w.FlashDataBytes) / float64(w.UserBytes)
+}
+
+// ParityFactor reports flash parity writes normalized to user writes.
+func (w *WriteAmp) ParityFactor() float64 {
+	if w.UserBytes == 0 {
+		return 0
+	}
+	return float64(w.FlashParityBytes) / float64(w.UserBytes)
+}
+
+// Add merges other into w.
+func (w *WriteAmp) Add(other WriteAmp) {
+	w.UserBytes += other.UserBytes
+	w.FlashDataBytes += other.FlashDataBytes
+	w.FlashParityBytes += other.FlashParityBytes
+	w.GCMigratedBytes += other.GCMigratedBytes
+}
+
+func (w *WriteAmp) String() string {
+	return fmt.Sprintf("WA=%.3f (data %.3f + parity %.3f, gc %d B)",
+		w.Factor(), w.DataFactor(), w.ParityFactor(), w.GCMigratedBytes)
+}
+
+// Throughput measures bytes moved over a virtual-time interval.
+type Throughput struct {
+	Bytes   uint64
+	Elapsed int64 // virtual nanoseconds
+}
+
+// MBps reports throughput in decimal megabytes per second (the unit the
+// paper's figures use), or 0 when no time has elapsed.
+func (t Throughput) MBps() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(t.Bytes) / 1e6 / (float64(t.Elapsed) / 1e9)
+}
+
+// GBps reports throughput in decimal gigabytes per second.
+func (t Throughput) GBps() float64 { return t.MBps() / 1000 }
+
+func (t Throughput) String() string { return fmt.Sprintf("%.1f MB/s", t.MBps()) }
+
+// OpsPerSec converts an operation count over virtual time to a rate.
+func OpsPerSec(ops uint64, elapsed int64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / (float64(elapsed) / 1e9)
+}

@@ -1,0 +1,220 @@
+// Package metrics provides the measurement primitives used by every
+// experiment in this repository: log-bucketed latency histograms with
+// high-percentile queries, throughput meters over virtual time,
+// write-amplification accounting, and CDF utilities.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a log-linear-bucketed histogram of non-negative int64 samples
+// (typically virtual nanoseconds). Buckets have ~3% relative width, which is
+// ample resolution for p50/p99/p99.99 queries while keeping memory constant.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+	sum    float64
+	min    int64
+	max    int64
+}
+
+const (
+	histSubBuckets = 32 // linear sub-buckets per power of two
+	histMaxExp     = 50 // covers up to ~2^50 ns (~13 days of virtual time)
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		counts: make([]uint64, histMaxExp*histSubBuckets),
+		min:    math.MaxInt64,
+	}
+}
+
+func bucketOf(v int64) int {
+	if v < histSubBuckets {
+		return int(v) // exact buckets for tiny values
+	}
+	exp := 63 - leadingZeros(uint64(v))
+	// Linear interpolation within the power-of-two range.
+	frac := (v - (1 << exp)) >> (exp - 5) // 32 sub-buckets
+	b := exp*histSubBuckets + int(frac)
+	if b >= histMaxExp*histSubBuckets {
+		b = histMaxExp*histSubBuckets - 1
+	}
+	return b
+}
+
+// bucketMid reports a representative value for bucket b (upper edge midpoint).
+func bucketMid(b int) int64 {
+	if b < histSubBuckets {
+		return int64(b)
+	}
+	exp := b / histSubBuckets
+	frac := int64(b % histSubBuckets)
+	lo := int64(1)<<exp + frac<<(exp-5)
+	width := int64(1) << (exp - 5)
+	return lo + width/2
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Record adds one sample. Negative samples are clamped to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean reports the arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min reports the smallest sample, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest sample, or 0 when empty.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Percentile reports the value at quantile p in [0, 100]. Within-bucket
+// resolution is ~3%. Returns 0 when empty.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	// Rank convention: the smallest value such that strictly more than p% of
+	// samples are <= it. This makes a 1-in-10000 outlier visible at p99.99.
+	rank := uint64(math.Floor(p/100*float64(h.total)+1e-6)) + 1
+	if rank > h.total {
+		rank = h.total
+	}
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			mid := bucketMid(b)
+			if mid > h.max {
+				mid = h.max
+			}
+			if mid < h.min {
+				mid = h.min
+			}
+			return mid
+		}
+	}
+	return h.max
+}
+
+// Merge adds all samples of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for b, c := range other.counts {
+		h.counts[b] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.total > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.sum, h.max = 0, 0, 0
+	h.min = math.MaxInt64
+}
+
+// Summary is a compact snapshot of a histogram.
+type Summary struct {
+	Count uint64
+	Mean  float64
+	P50   int64
+	P99   int64
+	P9999 int64
+	Min   int64
+	Max   int64
+}
+
+// Summarize captures the usual percentile set.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.total,
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P99:   h.Percentile(99),
+		P9999: h.Percentile(99.99),
+		Min:   h.Min(),
+		Max:   h.Max(),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1fus p50=%.1fus p99=%.1fus p99.99=%.1fus",
+		s.Count, s.Mean/1000, float64(s.P50)/1000, float64(s.P99)/1000, float64(s.P9999)/1000)
+}
+
+// CDF computes an empirical cumulative distribution over samples: it returns
+// the fraction of samples <= each of the given thresholds. Samples need not
+// be sorted.
+func CDF(samples []int64, thresholds []int64) []float64 {
+	sorted := make([]int64, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]float64, len(thresholds))
+	for i, t := range thresholds {
+		idx := sort.Search(len(sorted), func(j int) bool { return sorted[j] > t })
+		if len(sorted) == 0 {
+			out[i] = 0
+		} else {
+			out[i] = float64(idx) / float64(len(sorted))
+		}
+	}
+	return out
+}

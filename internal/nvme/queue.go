@@ -1,0 +1,132 @@
+// Package nvme models the host I/O stack between an AFA engine and a ZNS
+// device: the block layer and NVMe driver, which give no ordering guarantee
+// between in-flight submissions (§3.2). Each command is delivered to the
+// device after a bounded pseudo-random delay, so two commands submitted
+// back-to-back can arrive reordered — exactly the hazard that makes naive
+// parallel zone writes fail and that BIZA's sliding-window scheduler and
+// dm-zap's one-in-flight lock each work around.
+//
+// A Queue can optionally enforce per-zone delivery order (ZoneOrdered),
+// modeling the kernel's zone-write-locking I/O schedulers (mq-deadline),
+// which RAIZN depends on.
+package nvme
+
+import (
+	"biza/internal/sim"
+	"biza/internal/zns"
+)
+
+// Config controls delivery behaviour.
+type Config struct {
+	// ReorderWindow is the maximum extra delivery delay per command. Zero
+	// delivers immediately in submission order.
+	ReorderWindow sim.Time
+	// ZoneOrdered preserves submission order among writes to the same zone
+	// (zone write locking). Reads take the same jitter but carry no
+	// ordering hazard, so they are never held back.
+	ZoneOrdered bool
+	Seed        uint64
+}
+
+// Queue sits between one engine and one ZNS device.
+type Queue struct {
+	eng *sim.Engine
+	dev *zns.Device
+	cfg Config
+	rng *sim.RNG
+
+	// Per-zone last scheduled delivery time for ZoneOrdered mode.
+	zoneLast map[int]sim.Time
+
+	submitted uint64
+	reordered uint64
+	lastPlan  sim.Time
+}
+
+// New wraps dev with a delivery queue.
+func New(dev *zns.Device, cfg Config) *Queue {
+	return &Queue{
+		eng:      dev.Engine(),
+		dev:      dev,
+		cfg:      cfg,
+		rng:      sim.NewRNG(cfg.Seed ^ 0x9a7e),
+		zoneLast: make(map[int]sim.Time),
+	}
+}
+
+// Device returns the underlying device (admin commands and stats go
+// straight to it; ordering is irrelevant for them in this model).
+func (q *Queue) Device() *zns.Device { return q.dev }
+
+// Reordered reports how many deliveries were scheduled before an
+// earlier-submitted command's delivery (diagnostics for tests).
+func (q *Queue) Reordered() uint64 { return q.reordered }
+
+// deliverAt computes the delivery time for a command to zone z.
+func (q *Queue) deliverAt(z int, ordered bool) sim.Time {
+	at := q.eng.Now()
+	if q.cfg.ReorderWindow > 0 {
+		at += q.rng.Int63n(int64(q.cfg.ReorderWindow) + 1)
+	}
+	if ordered && q.cfg.ZoneOrdered {
+		if last, ok := q.zoneLast[z]; ok && at < last {
+			at = last
+		}
+		q.zoneLast[z] = at
+	}
+	if at < q.lastPlan {
+		q.reordered++
+	}
+	q.lastPlan = at
+	q.submitted++
+	return at
+}
+
+// Write submits a zone write through the driver stack.
+func (q *Queue) Write(z int, lba int64, nblocks int, data []byte, oob [][]byte, tag zns.WriteTag, done func(zns.WriteResult)) {
+	start := q.eng.Now()
+	at := q.deliverAt(z, true)
+	q.eng.At(at, func() {
+		q.dev.Write(z, lba, nblocks, data, oob, tag, func(r zns.WriteResult) {
+			r.Latency = q.eng.Now() - start
+			if done != nil {
+				done(r)
+			}
+		})
+	})
+}
+
+// Read submits a zone read through the driver stack.
+func (q *Queue) Read(z int, lba int64, nblocks int, done func(zns.ReadResult)) {
+	start := q.eng.Now()
+	at := q.deliverAt(z, false)
+	q.eng.At(at, func() {
+		q.dev.Read(z, lba, nblocks, func(r zns.ReadResult) {
+			r.Latency = q.eng.Now() - start
+			if done != nil {
+				done(r)
+			}
+		})
+	})
+}
+
+// Append submits a zone append through the driver stack.
+func (q *Queue) Append(z int, nblocks int, data []byte, oob [][]byte, tag zns.WriteTag, done func(zns.AppendResult)) {
+	start := q.eng.Now()
+	at := q.deliverAt(z, true)
+	q.eng.At(at, func() {
+		q.dev.Append(z, nblocks, data, oob, tag, func(r zns.AppendResult) {
+			r.Latency = q.eng.Now() - start
+			if done != nil {
+				done(r)
+			}
+		})
+	})
+}
+
+// Reset forwards a zone reset (admin path, still jittered so resets land
+// amid data traffic realistically).
+func (q *Queue) Reset(z int, done func(error)) {
+	at := q.deliverAt(z, true)
+	q.eng.At(at, func() { q.dev.Reset(z, done) })
+}

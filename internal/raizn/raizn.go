@@ -1,0 +1,482 @@
+// Package raizn implements RAIZN (Kim et al., ASPLOS '23) as the paper's
+// ZNS-interface baseline: a RAID 5 array over ZNS SSDs that itself exposes
+// zoned semantics — logical zones spanning one physical zone per member,
+// sequential writes only, rotating parity per stripe row.
+//
+// The design property the paper attacks (§3.3) is reproduced explicitly:
+// RAIZN journals partial-parity records for every write request into a
+// centralized metadata zone before acknowledging it. All that traffic
+// funnels into one zone on one I/O channel of one member, which caps the
+// array's aggregate write throughput well below the ideal (the measured
+// 47.7% of §2.3). An optional host-DRAM stripe cache (§5.4's fair-endurance
+// configuration) absorbs partial parities of rows that complete while
+// cached, at the cost of fault-tolerance — exactly the trade the paper
+// describes for the mdraid/RAIZN write buffers.
+package raizn
+
+import (
+	"fmt"
+
+	"biza/internal/cpumodel"
+	"biza/internal/erasure"
+	"biza/internal/metrics"
+	"biza/internal/nvme"
+	"biza/internal/raid"
+	"biza/internal/sim"
+	"biza/internal/zns"
+)
+
+// Config tunes the array.
+type Config struct {
+	// StripeCacheBytes, when nonzero, enables the volatile host-DRAM parity
+	// cache: rows completing while cached skip the partial-parity journal.
+	StripeCacheBytes int64
+}
+
+const metaZonesReserved = 2 // physical zones 0..1 reserved on every member
+
+// rowState tracks a partially written stripe row.
+type rowState struct {
+	acc       []byte // XOR accumulator (nil when payloads are nil)
+	count     int    // data chunks received
+	journaled bool   // partial parity already journaled for this row
+}
+
+// Array is the RAIZN engine. It implements zoneapi.Backend so dm-zap can
+// stack on top (the dmzap+RAIZN platform).
+type Array struct {
+	cfg    Config
+	queues []*nvme.Queue
+	eng    *sim.Engine
+	layout *raid.Layout
+
+	zoneBlocks   int64 // physical blocks per member zone
+	logicalZones int
+	blockSize    int
+
+	wp    []int64 // logical zone write pointers (in logical blocks)
+	rows  []map[int64]*rowState
+	cache *stripeCache
+
+	// Centralized metadata journal: device 0, alternating physical zones
+	// 0 and 1.
+	metaZone int // 0 or 1
+	metaWP   int64
+
+	acct *cpumodel.Accountant
+
+	userBytes   uint64
+	parityBytes uint64
+	metaBytes   uint64
+}
+
+// SetAccountant wires CPU-cost attribution (Fig. 17); nil disables it.
+func (a *Array) SetAccountant(acct *cpumodel.Accountant) { a.acct = acct }
+
+func (a *Array) charge(d sim.Time) {
+	if a.acct != nil {
+		a.acct.Charge(cpumodel.CompRAIZN, d)
+	}
+}
+
+// stripeCache is a FIFO of row keys whose partial parity is held in DRAM.
+type stripeCache struct {
+	capacity int
+	fifo     []rowKey
+	members  map[rowKey]bool
+}
+
+type rowKey struct {
+	zone int
+	row  int64
+}
+
+func newStripeCache(capacity int) *stripeCache {
+	return &stripeCache{capacity: capacity, members: make(map[rowKey]bool)}
+}
+
+// New builds a RAIZN array over the given member queues (one per ZNS SSD).
+// All members must share a geometry.
+func New(queues []*nvme.Queue, cfg Config) (*Array, error) {
+	if len(queues) < 3 {
+		return nil, fmt.Errorf("raizn: need >= 3 members, got %d", len(queues))
+	}
+	base := queues[0].Device().Config()
+	for _, q := range queues[1:] {
+		c := q.Device().Config()
+		if c.ZoneBlocks != base.ZoneBlocks || c.NumZones != base.NumZones || c.BlockSize != base.BlockSize {
+			return nil, fmt.Errorf("raizn: heterogeneous members")
+		}
+	}
+	if base.NumZones <= metaZonesReserved {
+		return nil, fmt.Errorf("raizn: too few zones (%d)", base.NumZones)
+	}
+	layout, err := raid.NewLayout(len(queues), 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	a := &Array{
+		cfg:          cfg,
+		queues:       queues,
+		eng:          queues[0].Device().Engine(),
+		layout:       layout,
+		zoneBlocks:   base.ZoneBlocks,
+		logicalZones: base.NumZones - metaZonesReserved,
+		blockSize:    base.BlockSize,
+	}
+	a.wp = make([]int64, a.logicalZones)
+	a.rows = make([]map[int64]*rowState, a.logicalZones)
+	for i := range a.rows {
+		a.rows[i] = make(map[int64]*rowState)
+	}
+	if cfg.StripeCacheBytes > 0 {
+		rows := int(cfg.StripeCacheBytes / int64(a.blockSize))
+		if rows < 1 {
+			rows = 1
+		}
+		a.cache = newStripeCache(rows)
+	}
+	return a, nil
+}
+
+// Engine implements zoneapi.Backend.
+func (a *Array) Engine() *sim.Engine { return a.eng }
+
+// BlockSize implements zoneapi.Backend.
+func (a *Array) BlockSize() int { return a.blockSize }
+
+// ZoneBlocks implements zoneapi.Backend: logical zone capacity in blocks —
+// data members times the physical zone size.
+func (a *Array) ZoneBlocks() int64 { return a.zoneBlocks * int64(a.dataDisks()) }
+
+// Zones implements zoneapi.Backend.
+func (a *Array) Zones() int { return a.logicalZones }
+
+// MaxOpenZones implements zoneapi.Backend: one logical zone consumes a
+// physical open zone on every member; device 0 also carries the metadata
+// journal zone.
+func (a *Array) MaxOpenZones() int {
+	return a.queues[0].Device().Config().MaxOpenZones - metaZonesReserved
+}
+
+func (a *Array) dataDisks() int { return a.layout.DataDisks() }
+
+// WriteAmp reports engine-level traffic: user data in; parity and journal
+// bytes out (flash truth lives in the member device counters).
+func (a *Array) WriteAmp() metrics.WriteAmp {
+	return metrics.WriteAmp{
+		UserBytes:        a.userBytes,
+		FlashDataBytes:   a.userBytes,
+		FlashParityBytes: a.parityBytes + a.metaBytes,
+	}
+}
+
+// MetaBytes reports the partial-parity journal volume.
+func (a *Array) MetaBytes() uint64 { return a.metaBytes }
+
+// physZone maps a logical zone to its members' physical zone index.
+func (a *Array) physZone(z int) int { return z + metaZonesReserved }
+
+// Write implements zoneapi.Backend: strictly sequential per logical zone.
+// Each logical block lands on the data member of its stripe row; completed
+// rows emit final parity to the rotating parity member; every request
+// journals its partial-parity record to the centralized metadata zone
+// (unless the stripe cache absorbs it).
+func (a *Array) Write(z int, lba int64, nblocks int, data []byte, tag zns.WriteTag, done func(zns.WriteResult)) {
+	start := a.eng.Now()
+	fail := func(err error) {
+		if done != nil {
+			a.eng.After(sim.Microsecond, func() {
+				done(zns.WriteResult{Err: err, Latency: a.eng.Now() - start})
+			})
+		}
+	}
+	if z < 0 || z >= a.logicalZones {
+		fail(zns.ErrBadZone)
+		return
+	}
+	n := int64(nblocks)
+	if nblocks <= 0 || lba+n > a.ZoneBlocks() {
+		fail(zns.ErrBadRange)
+		return
+	}
+	if lba != a.wp[z] {
+		fail(zns.ErrNotSequential)
+		return
+	}
+	a.wp[z] += n
+	a.userBytes += uint64(n) * uint64(a.blockSize)
+	a.charge(cpumodel.CostSchedule + cpumodel.CostMapUpdate*sim.Time(n))
+	if a.acct != nil {
+		a.acct.ChargeParity(cpumodel.CompRAIZN, n*int64(a.blockSize))
+		a.acct.Charge(cpumodel.CompIO, cpumodel.CostSubmission*sim.Time(n))
+	}
+
+	outstanding := 0
+	var firstErr error
+	finishOne := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		outstanding--
+		if outstanding == 0 && done != nil {
+			done(zns.WriteResult{Err: firstErr, Latency: a.eng.Now() - start})
+		}
+	}
+
+	k := int64(a.dataDisks())
+	bs := int64(a.blockSize)
+	pz := a.physZone(z)
+	var touched []int64
+	// Row-major processing: because the logical zone fills sequentially,
+	// rows complete in order, and emitting each completed row's parity
+	// before touching the next row keeps every member's physical zone
+	// strictly sequential (data or parity, exactly one block per row).
+	for i := int64(0); i < n; {
+		blk := lba + i
+		row := blk / k
+		rs := a.rows[z][row]
+		if rs == nil {
+			rs = &rowState{}
+			a.rows[z][row] = rs
+			touched = append(touched, row)
+		}
+		for ; i < n && (lba+i)/k == row; i++ {
+			col := int((lba + i) % k)
+			dev := a.layout.DataDisk(row, col)
+			var payload []byte
+			if data != nil {
+				payload = data[i*bs : (i+1)*bs]
+			}
+			outstanding++
+			a.queues[dev].Write(pz, row, 1, payload, nil, tag, func(r zns.WriteResult) {
+				finishOne(r.Err)
+			})
+			rs.count++
+			if payload != nil {
+				if rs.acc == nil {
+					rs.acc = make([]byte, bs)
+				}
+				erasure.XORInto(rs.acc, payload)
+			}
+		}
+		if rs.count == int(k) {
+			pdev := a.layout.ParityDisk(row, 0)
+			outstanding++
+			a.parityBytes += uint64(bs)
+			a.queues[pdev].Write(pz, row, 1, rs.acc, nil, zns.TagParity, func(r zns.WriteResult) {
+				finishOne(r.Err)
+			})
+			delete(a.rows[z], row)
+			if a.cache != nil {
+				a.cache.drop(rowKey{zone: z, row: row})
+			}
+		}
+	}
+
+	// Journal partial parity for the request: one block per incomplete row
+	// it touched — the centralized-metadata-zone traffic that caps RAIZN's
+	// throughput (§3.3). The stripe cache, when enabled, defers journaling
+	// in the hope the row completes in DRAM.
+	journal := 0
+	for _, row := range touched {
+		rs := a.rows[z][row]
+		if rs == nil || rs.journaled {
+			continue // completed above, or already journaled
+		}
+		if a.cache != nil {
+			for _, evicted := range a.cache.insert(rowKey{zone: z, row: row}) {
+				if ev := a.rows[evicted.zone][evicted.row]; ev != nil && !ev.journaled {
+					ev.journaled = true
+					journal++
+				}
+			}
+			continue
+		}
+		rs.journaled = true
+		journal++
+	}
+	if journal > 0 {
+		outstanding += a.writeJournal(journal, finishOne)
+	}
+	if outstanding == 0 && done != nil {
+		a.eng.After(sim.Microsecond, func() {
+			done(zns.WriteResult{Err: firstErr, Latency: a.eng.Now() - start})
+		})
+	}
+}
+
+// writeJournal appends nblocks of partial-parity records to the central
+// metadata zone, rotating between the two reserved zones on member 0.
+// Returns how many completions the caller should expect.
+func (a *Array) writeJournal(nblocks int, finishOne func(error)) int {
+	issued := 0
+	for nblocks > 0 {
+		if a.metaWP >= a.zoneBlocks {
+			// Current journal zone full: switch to the spare and reset the
+			// old one (its records are superseded by final parities).
+			old := a.metaZone
+			a.metaZone = 1 - a.metaZone
+			a.metaWP = 0
+			a.queues[0].Reset(old, nil)
+		}
+		batch := int64(nblocks)
+		if a.metaWP+batch > a.zoneBlocks {
+			batch = a.zoneBlocks - a.metaWP
+		}
+		off := a.metaWP
+		a.metaWP += batch
+		a.metaBytes += uint64(batch) * uint64(a.blockSize)
+		issued++
+		a.queues[0].Write(a.metaZone, off, int(batch), nil, nil, zns.TagMeta, func(r zns.WriteResult) {
+			finishOne(r.Err)
+		})
+		nblocks -= int(batch)
+	}
+	return issued
+}
+
+// Read implements zoneapi.Backend, splitting the logical range into
+// per-member runs.
+func (a *Array) Read(z int, lba int64, nblocks int, done func(zns.ReadResult)) {
+	start := a.eng.Now()
+	fail := func(err error) {
+		if done != nil {
+			a.eng.After(sim.Microsecond, func() {
+				done(zns.ReadResult{Err: err, Latency: a.eng.Now() - start})
+			})
+		}
+	}
+	if z < 0 || z >= a.logicalZones {
+		fail(zns.ErrBadZone)
+		return
+	}
+	n := int64(nblocks)
+	if nblocks <= 0 || lba < 0 || lba+n > a.ZoneBlocks() {
+		fail(zns.ErrBadRange)
+		return
+	}
+	k := int64(a.dataDisks())
+	bs := int64(a.blockSize)
+	pz := a.physZone(z)
+	buf := make([]byte, n*bs)
+	var firstErr error
+	outstanding := 0
+	finishOne := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		outstanding--
+		if outstanding == 0 && done != nil {
+			done(zns.ReadResult{Err: firstErr, Data: buf, Latency: a.eng.Now() - start})
+		}
+	}
+	// Group blocks per member and coalesce consecutive row offsets into one
+	// device read; each run carries the buffer index of every block so the
+	// result can be de-striped.
+	type runT struct {
+		dev    int
+		off    int64
+		bufIdx []int64 // logical block index (into buf) per run block
+	}
+	var runs []runT
+	lastRunOfDev := make([]int, len(a.queues))
+	for i := range lastRunOfDev {
+		lastRunOfDev[i] = -1
+	}
+	for i := int64(0); i < n; i++ {
+		blk := lba + i
+		row := blk / k
+		col := int(blk % k)
+		dev := a.layout.DataDisk(row, col)
+		if li := lastRunOfDev[dev]; li >= 0 {
+			r := &runs[li]
+			if r.off+int64(len(r.bufIdx)) == row {
+				r.bufIdx = append(r.bufIdx, i)
+				continue
+			}
+		}
+		runs = append(runs, runT{dev: dev, off: row, bufIdx: []int64{i}})
+		lastRunOfDev[dev] = len(runs) - 1
+	}
+	outstanding = len(runs)
+	for _, r := range runs {
+		r := r
+		a.queues[r.dev].Read(pz, r.off, len(r.bufIdx), func(res zns.ReadResult) {
+			if res.Data != nil {
+				for j, idx := range r.bufIdx {
+					copy(buf[idx*bs:(idx+1)*bs], res.Data[int64(j)*bs:(int64(j)+1)*bs])
+				}
+			}
+			finishOne(res.Err)
+		})
+	}
+}
+
+// Reset implements zoneapi.Backend: resets the logical zone's physical zone
+// on every member.
+func (a *Array) Reset(z int, done func(error)) {
+	if z < 0 || z >= a.logicalZones {
+		if done != nil {
+			a.eng.After(sim.Microsecond, func() { done(zns.ErrBadZone) })
+		}
+		return
+	}
+	a.wp[z] = 0
+	a.rows[z] = make(map[int64]*rowState)
+	remaining := len(a.queues)
+	var firstErr error
+	for _, q := range a.queues {
+		q.Reset(a.physZone(z), func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			remaining--
+			if remaining == 0 && done != nil {
+				done(firstErr)
+			}
+		})
+	}
+}
+
+// Finish implements zoneapi.Backend.
+func (a *Array) Finish(z int) error {
+	if z < 0 || z >= a.logicalZones {
+		return zns.ErrBadZone
+	}
+	var firstErr error
+	for _, q := range a.queues {
+		if err := q.Device().Finish(a.physZone(z)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	a.wp[z] = a.ZoneBlocks()
+	return firstErr
+}
+
+// insert adds a key to the FIFO cache and returns evicted keys.
+func (c *stripeCache) insert(k rowKey) []rowKey {
+	if c.members[k] {
+		return nil
+	}
+	c.members[k] = true
+	c.fifo = append(c.fifo, k)
+	var evicted []rowKey
+	for len(c.fifo) > c.capacity {
+		e := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		if c.members[e] {
+			delete(c.members, e)
+			evicted = append(evicted, e)
+		}
+	}
+	return evicted
+}
+
+// drop removes a completed row from the cache without journaling.
+func (c *stripeCache) drop(k rowKey) { delete(c.members, k) }
+
+// ResetAccounting zeroes engine-level traffic counters.
+func (a *Array) ResetAccounting() {
+	a.userBytes, a.parityBytes, a.metaBytes = 0, 0, 0
+}

@@ -1,0 +1,310 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAmongEqualTimestamps(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-timestamp events reordered at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.At(10, func() {
+		hits = append(hits, e.Now())
+		e.After(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("nested scheduling produced %v", hits)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(20, func() { fired++ })
+	e.At(30, func() { fired++ })
+	e.RunUntil(20)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock = %d, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if fired != 3 || e.Now() != 30 {
+		t.Fatalf("fired=%d now=%d after Run", fired, e.Now())
+	}
+}
+
+func TestEngineRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(1000)
+	if e.Now() != 1000 {
+		t.Fatalf("idle clock = %d, want 1000", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10, func() { fired++; e.Stop() })
+	e.At(20, func() { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("Stop did not halt the loop: fired = %d", fired)
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(1, func() { fired++ })
+	if !e.Step() {
+		t.Fatal("Step returned false with a pending event")
+	}
+	if fired != 1 {
+		t.Fatal("Step did not fire the event")
+	}
+	if e.Step() {
+		t.Fatal("Step returned true with empty heap")
+	}
+}
+
+func TestResourceSingleServerSerializes(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		r.Submit(10, func(start, end Time) { ends = append(ends, end) })
+	}
+	e.Run()
+	want := []Time{10, 20, 30}
+	for i, w := range want {
+		if ends[i] != w {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestResourceParallelServers(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 4)
+	var ends []Time
+	for i := 0; i < 4; i++ {
+		r.Submit(10, func(start, end Time) { ends = append(ends, end) })
+	}
+	e.Run()
+	for _, end := range ends {
+		if end != 10 {
+			t.Fatalf("parallel servers serialized: ends = %v", ends)
+		}
+	}
+}
+
+func TestResourceQueueSpillsToAllServers(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 2)
+	var last Time
+	for i := 0; i < 6; i++ {
+		r.Submit(10, func(_, end Time) {
+			if end > last {
+				last = end
+			}
+		})
+	}
+	e.Run()
+	if last != 30 { // 6 jobs, 2 servers, 10 each => makespan 30
+		t.Fatalf("makespan = %d, want 30", last)
+	}
+	if r.BusyTime() != 60 {
+		t.Fatalf("busy = %d, want 60", r.BusyTime())
+	}
+}
+
+func TestResourceBacklog(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	r.Submit(100, nil)
+	if got := r.Backlog(); got != 100 {
+		t.Fatalf("backlog = %d, want 100", got)
+	}
+	e.RunUntil(100)
+	if got := r.Backlog(); got != 0 {
+		t.Fatalf("backlog after drain = %d, want 0", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d collisions in 1000 draws", same)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	if err := quick.Check(func(x uint16) bool {
+		n := int(x%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Bounds(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfGenSkew(t *testing.T) {
+	r := NewRNG(13)
+	z := NewZipfGen(r, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	// Rank 0 should carry roughly 1/H(100) of the mass (~19%).
+	if counts[0] < 10000 || counts[0] > 30000 {
+		t.Fatalf("rank0 mass = %d, want roughly 19%% of 100000", counts[0])
+	}
+}
+
+func TestZipfGenUniformWhenThetaZero(t *testing.T) {
+	r := NewRNG(17)
+	z := NewZipfGen(r, 10, 0)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("theta=0 not uniform: counts[%d]=%d", i, c)
+		}
+	}
+}
+
+func TestZipfGenCoversRange(t *testing.T) {
+	r := NewRNG(19)
+	z := NewZipfGen(r, 5, 0.5)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 5 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("zipf never produced some ranks: %v", seen)
+	}
+}
+
+func TestResourceMakespanProperty(t *testing.T) {
+	// Property: for any job set, makespan >= total work / servers, and
+	// makespan <= total work (no parallelism slower than serial).
+	if err := quick.Check(func(durs []uint16, serversRaw uint8) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		servers := int(serversRaw%8) + 1
+		e := NewEngine()
+		r := NewResource(e, servers)
+		var total Time
+		var makespan Time
+		for _, d := range durs {
+			dur := Time(d%1000) + 1
+			total += dur
+			r.Submit(dur, func(_, end Time) {
+				if end > makespan {
+					makespan = end
+				}
+			})
+		}
+		e.Run()
+		lower := total / Time(servers)
+		return makespan >= lower && makespan <= total
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

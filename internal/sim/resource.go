@@ -1,0 +1,73 @@
+package sim
+
+// Resource models a k-server FIFO queueing station in virtual time, such as
+// an SSD I/O channel with k independent flash dies or a shared bandwidth
+// link (k = 1). Submissions are served non-preemptively in arrival order by
+// the earliest-available server.
+type Resource struct {
+	eng    *Engine
+	freeAt []Time
+
+	// Busy accounting for utilization metrics.
+	busy     Time
+	lastIdle Time
+}
+
+// NewResource returns a station with servers parallel servers.
+func NewResource(eng *Engine, servers int) *Resource {
+	if servers < 1 {
+		panic("sim: resource needs at least one server")
+	}
+	return &Resource{eng: eng, freeAt: make([]Time, servers)}
+}
+
+// Servers reports the number of parallel servers.
+func (r *Resource) Servers() int { return len(r.freeAt) }
+
+// Submit enqueues a job with the given service time. done, if non-nil, runs
+// when the job completes; start is when service began (after queueing) and
+// end when it finished. Submit returns the completion time.
+func (r *Resource) Submit(service Time, done func(start, end Time)) Time {
+	if service < 0 {
+		panic("sim: negative service time")
+	}
+	// Pick the earliest-free server.
+	best := 0
+	for i := 1; i < len(r.freeAt); i++ {
+		if r.freeAt[i] < r.freeAt[best] {
+			best = i
+		}
+	}
+	start := r.eng.Now()
+	if r.freeAt[best] > start {
+		start = r.freeAt[best]
+	}
+	end := start + service
+	r.freeAt[best] = end
+	r.busy += service
+	if done != nil {
+		r.eng.At(end, func() { done(start, end) })
+	}
+	return end
+}
+
+// NextFree reports the earliest time at which any server becomes free.
+func (r *Resource) NextFree() Time {
+	best := r.freeAt[0]
+	for _, t := range r.freeAt[1:] {
+		if t < best {
+			best = t
+		}
+	}
+	if now := r.eng.Now(); best < now {
+		return now
+	}
+	return best
+}
+
+// Backlog reports the queueing delay a job submitted now would experience
+// before service starts.
+func (r *Resource) Backlog() Time { return r.NextFree() - r.eng.Now() }
+
+// BusyTime reports cumulative service time delivered by all servers.
+func (r *Resource) BusyTime() Time { return r.busy }

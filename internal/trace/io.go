@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format: a fixed header followed by fixed-width records.
+//
+//	magic "BZTR" | version u16 | blockSize u32 | nameLen u16 | name |
+//	count u64 | records: flags u8 (bit0 = write) | lba i64 | blocks u32
+const traceMagic = "BZTR"
+
+// WriteTo serializes the trace.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return n, err
+	}
+	n += 4
+	if err := write(uint16(1)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(t.BlockSize)); err != nil {
+		return n, err
+	}
+	name := []byte(t.Name)
+	if err := write(uint16(len(name))); err != nil {
+		return n, err
+	}
+	if _, err := bw.Write(name); err != nil {
+		return n, err
+	}
+	n += int64(len(name))
+	if err := write(uint64(len(t.Ops))); err != nil {
+		return n, err
+	}
+	for _, op := range t.Ops {
+		var flags uint8
+		if op.Write {
+			flags |= 1
+		}
+		if err := write(flags); err != nil {
+			return n, err
+		}
+		if err := write(op.LBA); err != nil {
+			return n, err
+		}
+		if err := write(uint32(op.Blocks)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes a trace written by WriteTo.
+func ReadFrom(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != 1 {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	var bs uint32
+	if err := binary.Read(br, binary.LittleEndian, &bs); err != nil {
+		return nil, err
+	}
+	var nameLen uint16
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	const maxOps = 1 << 28
+	if count > maxOps {
+		return nil, fmt.Errorf("trace: absurd op count %d", count)
+	}
+	t := &Trace{Name: string(name), BlockSize: int(bs), Ops: make([]Op, 0, count)}
+	for i := uint64(0); i < count; i++ {
+		var flags uint8
+		var lba int64
+		var blocks uint32
+		if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &lba); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &blocks); err != nil {
+			return nil, err
+		}
+		t.Ops = append(t.Ops, Op{Write: flags&1 != 0, LBA: lba, Blocks: int(blocks)})
+	}
+	return t, nil
+}

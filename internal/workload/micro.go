@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"biza/internal/blockdev"
+	"biza/internal/metrics"
+	"biza/internal/sim"
+)
+
+// Pattern is an access pattern.
+type Pattern uint8
+
+// Access patterns.
+const (
+	Seq Pattern = iota
+	Rand
+)
+
+func (p Pattern) String() string {
+	if p == Seq {
+		return "seq"
+	}
+	return "rand"
+}
+
+// MicroSpec describes an fio-style closed-loop microbenchmark: a fixed
+// request size and pattern at a fixed queue depth for a virtual duration
+// (the paper uses one job, iodepth 32, sizes 4-192 KiB).
+type MicroSpec struct {
+	Pattern     Pattern
+	Read        bool
+	SizeBlocks  int
+	IODepth     int
+	Duration    sim.Time
+	SpanBlocks  int64 // address space to exercise; 0 = whole device
+	Seed        uint64
+	WarmupBytes uint64 // bytes completed before measurement starts
+}
+
+// MicroResult reports a measured run.
+type MicroResult struct {
+	Ops     uint64
+	Bytes   uint64
+	Elapsed sim.Time
+	Lat     *metrics.Histogram
+	Errors  uint64
+}
+
+// Throughput reports measured bytes/second.
+func (r MicroResult) Throughput() metrics.Throughput {
+	return metrics.Throughput{Bytes: r.Bytes, Elapsed: r.Elapsed}
+}
+
+// RunMicro drives dev with the spec and returns measurements taken after
+// the warmup volume. The loop is closed: IODepth requests stay in flight.
+func RunMicro(eng *sim.Engine, dev blockdev.Device, spec MicroSpec) MicroResult {
+	if spec.IODepth < 1 {
+		spec.IODepth = 1
+	}
+	span := spec.SpanBlocks
+	if span == 0 || span > dev.Blocks() {
+		span = dev.Blocks()
+	}
+	size := int64(spec.SizeBlocks)
+	if size < 1 {
+		size = 1
+	}
+	rng := sim.NewRNG(spec.Seed ^ 0x4f10)
+	res := MicroResult{Lat: metrics.NewHistogram()}
+	var warmupLeft = spec.WarmupBytes
+	var cursor int64
+	measuringSince := sim.Time(-1)
+	deadline := eng.Now() + spec.Duration
+	stopAt := deadline + spec.Duration // hard stop covers warmup overrun
+
+	nextLBA := func() int64 {
+		if spec.Pattern == Seq {
+			lba := cursor
+			cursor += size
+			if cursor > span {
+				cursor = size
+				lba = 0
+			}
+			return lba
+		}
+		slots := span / size
+		if slots < 1 {
+			return 0
+		}
+		return rng.Int63n(slots) * size
+	}
+
+	var issue func()
+	complete := func(err error, lat sim.Time) {
+		bytes := uint64(size) * uint64(dev.BlockSize())
+		switch {
+		case err != nil:
+			res.Errors++
+		case warmupLeft > 0:
+			if warmupLeft > bytes {
+				warmupLeft -= bytes
+			} else {
+				warmupLeft = 0
+				measuringSince = eng.Now()
+				deadline = eng.Now() + spec.Duration
+			}
+		default:
+			if measuringSince < 0 {
+				measuringSince = eng.Now()
+				deadline = eng.Now() + spec.Duration
+			}
+			if eng.Now() <= deadline {
+				res.Ops++
+				res.Bytes += bytes
+				res.Lat.Record(lat)
+			}
+		}
+		if eng.Now() < deadline && eng.Now() < stopAt {
+			issue()
+		}
+	}
+	issue = func() {
+		lba := nextLBA()
+		if spec.Read {
+			dev.Read(lba, int(size), func(r blockdev.ReadResult) { complete(r.Err, r.Latency) })
+		} else {
+			dev.Write(lba, int(size), nil, func(r blockdev.WriteResult) { complete(r.Err, r.Latency) })
+		}
+	}
+	if spec.WarmupBytes == 0 {
+		measuringSince = eng.Now()
+	}
+	for i := 0; i < spec.IODepth; i++ {
+		issue()
+	}
+	eng.Run()
+	if measuringSince < 0 {
+		measuringSince = eng.Now()
+	}
+	end := eng.Now()
+	if end > deadline {
+		end = deadline
+	}
+	res.Elapsed = end - measuringSince
+	if res.Elapsed <= 0 {
+		res.Elapsed = 1
+	}
+	return res
+}
+
+// Precondition sequentially writes the span once so later reads hit
+// mapped data.
+func Precondition(eng *sim.Engine, dev blockdev.Device, spanBlocks int64, chunk int) {
+	if spanBlocks == 0 || spanBlocks > dev.Blocks() {
+		spanBlocks = dev.Blocks()
+	}
+	if chunk < 1 {
+		chunk = 16
+	}
+	var next int64
+	depth := 16
+	var issue func()
+	issue = func() {
+		if next+int64(chunk) > spanBlocks {
+			return
+		}
+		lba := next
+		next += int64(chunk)
+		dev.Write(lba, chunk, nil, func(blockdev.WriteResult) { issue() })
+	}
+	for i := 0; i < depth; i++ {
+		issue()
+	}
+	eng.Run()
+}
+
+// RateSpec describes an open-loop workload: requests arrive at a fixed
+// rate regardless of completions (the latency-sensitive regime, where
+// queueing delay is visible instead of hidden by a closed loop).
+type RateSpec struct {
+	Pattern    Pattern
+	Read       bool
+	SizeBlocks int
+	// IntervalNS is the virtual time between arrivals.
+	IntervalNS sim.Time
+	Count      int
+	SpanBlocks int64
+	Seed       uint64
+}
+
+// RunOpenLoop issues Count requests at fixed intervals and reports the
+// latency distribution once all complete.
+func RunOpenLoop(eng *sim.Engine, dev blockdev.Device, spec RateSpec) MicroResult {
+	span := spec.SpanBlocks
+	if span == 0 || span > dev.Blocks() {
+		span = dev.Blocks()
+	}
+	size := int64(spec.SizeBlocks)
+	if size < 1 {
+		size = 1
+	}
+	if spec.IntervalNS < 1 {
+		spec.IntervalNS = sim.Microsecond
+	}
+	rng := sim.NewRNG(spec.Seed ^ 0x0be1)
+	res := MicroResult{Lat: metrics.NewHistogram()}
+	start := eng.Now()
+	var cursor int64
+	nextLBA := func() int64 {
+		if spec.Pattern == Seq {
+			lba := cursor
+			cursor += size
+			if cursor > span {
+				cursor, lba = size, 0
+			}
+			return lba
+		}
+		slots := span / size
+		if slots < 1 {
+			return 0
+		}
+		return rng.Int63n(slots) * size
+	}
+	for i := 0; i < spec.Count; i++ {
+		at := start + sim.Time(i)*spec.IntervalNS
+		eng.At(at, func() {
+			lba := nextLBA()
+			if spec.Read {
+				dev.Read(lba, int(size), func(r blockdev.ReadResult) {
+					if r.Err != nil {
+						res.Errors++
+						return
+					}
+					res.Ops++
+					res.Bytes += uint64(size) * uint64(dev.BlockSize())
+					res.Lat.Record(r.Latency)
+				})
+			} else {
+				dev.Write(lba, int(size), nil, func(r blockdev.WriteResult) {
+					if r.Err != nil {
+						res.Errors++
+						return
+					}
+					res.Ops++
+					res.Bytes += uint64(size) * uint64(dev.BlockSize())
+					res.Lat.Record(r.Latency)
+				})
+			}
+		})
+	}
+	eng.Run()
+	res.Elapsed = eng.Now() - start
+	if res.Elapsed <= 0 {
+		res.Elapsed = 1
+	}
+	return res
+}

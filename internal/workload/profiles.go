@@ -1,0 +1,102 @@
+// Package workload generates the I/O patterns the paper evaluates with:
+// fio-style microbenchmarks (closed-loop, fixed size/pattern/depth) and
+// synthetic production traces parameterized to match Table 6's
+// characteristics and the reuse-distance statistics of §3.1/§5.4.
+package workload
+
+import (
+	"biza/internal/sim"
+	"biza/internal/trace"
+)
+
+// Profile parameterizes a synthetic production trace. The reuse-distance
+// distribution — the property BIZA's endurance results hinge on — is
+// shaped by a two-tier model: a small hot tier capturing HotWriteFrac of
+// the writes (short reuse distances) over HotBytes, with the remainder
+// spread across the full footprint (long reuse distances).
+type Profile struct {
+	Name           string
+	WriteRatio     float64 // fraction of ops that write (Table 6)
+	AvgReadBlocks  int     // mean read size in 4 KiB blocks
+	AvgWriteBlocks int     // mean write size in 4 KiB blocks
+	FootprintMB    int64   // total addressable working set
+	HotMB          int64   // hot-tier size
+	HotWriteFrac   float64 // fraction of write bytes aimed at the hot tier
+}
+
+// Profiles are the ten trace workloads of Table 6. Write ratios and sizes
+// come from the table; the tier parameters are calibrated so casa has only
+// ~8% of reuse distances beyond 56 MB while tencent has ~90% (§5.4).
+var Profiles = []Profile{
+	{Name: "casa", WriteRatio: 0.986, AvgReadBlocks: 3, AvgWriteBlocks: 1, FootprintMB: 256, HotMB: 24, HotWriteFrac: 0.93},
+	{Name: "online", WriteRatio: 0.671, AvgReadBlocks: 1, AvgWriteBlocks: 1, FootprintMB: 256, HotMB: 24, HotWriteFrac: 0.90},
+	{Name: "ikki", WriteRatio: 0.928, AvgReadBlocks: 2, AvgWriteBlocks: 1, FootprintMB: 320, HotMB: 32, HotWriteFrac: 0.85},
+	{Name: "proj", WriteRatio: 0.030, AvgReadBlocks: 2, AvgWriteBlocks: 4, FootprintMB: 512, HotMB: 32, HotWriteFrac: 0.60},
+	{Name: "web", WriteRatio: 0.459, AvgReadBlocks: 11, AvgWriteBlocks: 2, FootprintMB: 384, HotMB: 32, HotWriteFrac: 0.55},
+	{Name: "DAP", WriteRatio: 0.519, AvgReadBlocks: 16, AvgWriteBlocks: 30, FootprintMB: 512, HotMB: 32, HotWriteFrac: 0.50},
+	{Name: "MSNFS", WriteRatio: 0.315, AvgReadBlocks: 2, AvgWriteBlocks: 3, FootprintMB: 384, HotMB: 32, HotWriteFrac: 0.55},
+	{Name: "lun0", WriteRatio: 0.176, AvgReadBlocks: 7, AvgWriteBlocks: 2, FootprintMB: 384, HotMB: 24, HotWriteFrac: 0.45},
+	{Name: "lun1", WriteRatio: 0.380, AvgReadBlocks: 5, AvgWriteBlocks: 3, FootprintMB: 448, HotMB: 24, HotWriteFrac: 0.40},
+	{Name: "tencent", WriteRatio: 0.529, AvgReadBlocks: 8, AvgWriteBlocks: 10, FootprintMB: 768, HotMB: 16, HotWriteFrac: 0.10},
+}
+
+// ProfileByName finds a profile, or nil.
+func ProfileByName(name string) *Profile {
+	for i := range Profiles {
+		if Profiles[i].Name == name {
+			return &Profiles[i]
+		}
+	}
+	return nil
+}
+
+// Synthesize builds a deterministic trace of nOps operations.
+func (p Profile) Synthesize(seed uint64, nOps int) *trace.Trace {
+	const bs = 4096
+	rng := sim.NewRNG(seed ^ 0x7a0f17e)
+	footBlocks := p.FootprintMB << 20 / bs
+	hotBlocks := p.HotMB << 20 / bs
+	if hotBlocks > footBlocks {
+		hotBlocks = footBlocks
+	}
+	t := &trace.Trace{Name: p.Name, BlockSize: bs, Ops: make([]trace.Op, 0, nOps)}
+	sizeOf := func(avg int) int {
+		if avg <= 1 {
+			return 1
+		}
+		// Geometric-ish spread around the mean: 1x..2x avg.
+		return avg/2 + rng.Intn(avg) + 1
+	}
+	for i := 0; i < nOps; i++ {
+		write := rng.Float64() < p.WriteRatio
+		var blocks int
+		var lba int64
+		if write {
+			blocks = sizeOf(p.AvgWriteBlocks)
+			if rng.Float64() < p.HotWriteFrac {
+				lba = rng.Int63n(hotBlocks)
+			} else {
+				lba = hotBlocks + rng.Int63n(footBlocks-hotBlocks)
+			}
+		} else {
+			blocks = sizeOf(p.AvgReadBlocks)
+			lba = rng.Int63n(footBlocks)
+		}
+		if lba+int64(blocks) > footBlocks {
+			lba = footBlocks - int64(blocks)
+		}
+		t.Ops = append(t.Ops, trace.Op{Write: write, LBA: lba, Blocks: blocks})
+	}
+	return t
+}
+
+// SystorReusePopulation synthesizes the reuse-distance sample population
+// behind Fig. 4: a mixture in which only ~17% of re-accesses fall within
+// 14 MB (the ZN540's total ZRWA), mimicking the SYSTOR '17 VDI traces.
+func SystorReusePopulation(seed uint64, nOps int) *trace.Trace {
+	p := Profile{
+		Name: "systor", WriteRatio: 1.0, AvgWriteBlocks: 1,
+		FootprintMB: 512, HotMB: 10, HotWriteFrac: 0.20,
+	}
+	return p.Synthesize(seed, nOps)
+}

@@ -1,0 +1,218 @@
+// Package zns simulates an NVMe Zoned Namespace SSD in virtual time.
+//
+// The simulator models everything BIZA (SOSP '24) exploits or suffers from
+// on real hardware:
+//
+//   - the zone state machine with write-pointer sequential-write rules,
+//     open-zone limits, RESET/FINISH/CLOSE transitions;
+//   - the Zone Random Write Area (ZRWA): a per-open-zone window after the
+//     write pointer that accepts random and in-place writes in the device
+//     write buffer, commits (flushes to flash) implicitly when the window
+//     shifts, and explicitly on command — overwrites absorbed in the window
+//     never reach flash, which is the paper's endurance lever;
+//   - internal parallelism: zones map to I/O channels (hidden from the
+//     host); each channel has a bus and a die pipeline, so two zones on one
+//     channel contend while zones on different channels proceed in
+//     parallel (Table 3), and a single in-flight write cannot fill a
+//     channel's pipeline (Fig. 5);
+//   - shared device resources: a controller front-end and device-wide
+//     write/read links that cap aggregate throughput at the datasheet
+//     numbers;
+//   - flash accounting: programmed bytes by traffic class and per-zone
+//     erase counts, the raw material for write-amplification results;
+//   - per-block OOB areas for mapping-table persistence and crash recovery.
+//
+// All service times derive from a Config, with presets calibrated to the
+// devices in the paper's Table 2 / Table 5.
+package zns
+
+import (
+	"fmt"
+
+	"biza/internal/sim"
+)
+
+// Config describes the simulated device geometry and service rates.
+type Config struct {
+	Name string
+
+	// Geometry.
+	BlockSize     int   // logical block size in bytes (4096)
+	ZoneBlocks    int64 // usable blocks per zone
+	NumZones      int
+	MaxOpenZones  int // max zones in implicit+explicit open state
+	MaxActiveZone int // max open+closed zones; 0 means 2*MaxOpenZones
+
+	// ZRWA.
+	ZRWABlocks int64 // ZRWA window size in blocks per open zone; 0 = unsupported
+
+	// Internal parallelism.
+	NumChannels    int
+	DiesPerChannel int
+
+	// Service rates in bytes per second of virtual time.
+	ChannelWriteBW int64 // per-channel program bus (single-zone write cap)
+	ChannelReadBW  int64
+	DieWriteBW     int64 // per-die program bandwidth
+	DieReadBW      int64
+	DeviceWriteBW  int64 // device-wide shared write link
+	DeviceReadBW   int64 // device-wide shared read link
+
+	// Fixed costs in virtual nanoseconds.
+	CmdOverhead     sim.Time // controller per-command processing
+	BufWriteLatency sim.Time // ZRWA buffer write
+	BufReadLatency  sim.Time // ZRWA buffer read
+	DieReadLatency  sim.Time // flash array read access time
+	ResetLatency    sim.Time // zone reset (erase)
+
+	// Zone-to-channel mapping. Zones map round-robin by default; a nonzero
+	// ShuffleFraction remaps that fraction of zones to random channels,
+	// modeling wear-leveling decisions on aged devices (§4.3).
+	ShuffleFraction float64
+	Seed            uint64
+
+	// OOB bytes available per logical block (paper: 72 bits used of the
+	// typical 64 B / 4 KiB quota).
+	OOBBytesPerBlock int
+
+	// StoreData retains written payloads for read-back; disable for pure
+	// performance experiments to bound host memory.
+	StoreData bool
+
+	// ExposeChannelOnOpen models the paper's §6 future-ZNS proposal:
+	// the device piggybacks the zone's I/O channel in the OPEN command's
+	// completion, so hosts need no guess-and-verify detection.
+	ExposeChannelOnOpen bool
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.BlockSize <= 0:
+		return fmt.Errorf("zns: BlockSize %d", c.BlockSize)
+	case c.ZoneBlocks <= 0:
+		return fmt.Errorf("zns: ZoneBlocks %d", c.ZoneBlocks)
+	case c.NumZones <= 0:
+		return fmt.Errorf("zns: NumZones %d", c.NumZones)
+	case c.MaxOpenZones <= 0:
+		return fmt.Errorf("zns: MaxOpenZones %d", c.MaxOpenZones)
+	case c.NumChannels <= 0:
+		return fmt.Errorf("zns: NumChannels %d", c.NumChannels)
+	case c.DiesPerChannel <= 0:
+		return fmt.Errorf("zns: DiesPerChannel %d", c.DiesPerChannel)
+	case c.ChannelWriteBW <= 0 || c.ChannelReadBW <= 0,
+		c.DieWriteBW <= 0 || c.DieReadBW <= 0,
+		c.DeviceWriteBW <= 0 || c.DeviceReadBW <= 0:
+		return fmt.Errorf("zns: non-positive bandwidth in config %q", c.Name)
+	case c.ZRWABlocks < 0:
+		return fmt.Errorf("zns: ZRWABlocks %d", c.ZRWABlocks)
+	}
+	return nil
+}
+
+// ZoneBytes reports the usable zone capacity in bytes.
+func (c *Config) ZoneBytes() int64 { return c.ZoneBlocks * int64(c.BlockSize) }
+
+// ZRWABytes reports the per-zone ZRWA size in bytes.
+func (c *Config) ZRWABytes() int64 { return c.ZRWABlocks * int64(c.BlockSize) }
+
+// TotalZRWABytes reports ZRWA capacity across the maximum open-zone set,
+// the "Total ZRWA size" column of the paper's Table 2.
+func (c *Config) TotalZRWABytes() int64 { return c.ZRWABytes() * int64(c.MaxOpenZones) }
+
+const (
+	kib = 1024
+	mib = 1024 * kib
+)
+
+// ZN540 returns the Western Digital Ultrastar DC ZN540 preset, the paper's
+// primary testbed device (Tables 2, 3, 5): 1077 MB zones, 1 MB ZRWA, 14
+// open zones, 2170/3265 MB/s device write/read, 1092 MB/s single-zone
+// write (Table 3 scenario 1). NumZones is scaled down from the 4 TB part;
+// pass a custom Config for full capacity.
+func ZN540(numZones int) Config {
+	return Config{
+		Name:             "WD ZN540",
+		BlockSize:        4096,
+		ZoneBlocks:       1077 * mib / 4096,
+		NumZones:         numZones,
+		MaxOpenZones:     14,
+		ZRWABlocks:       1 * mib / 4096,
+		NumChannels:      8,
+		DiesPerChannel:   4,
+		ChannelWriteBW:   1092e6,
+		ChannelReadBW:    1633e6,
+		DieWriteBW:       546e6,
+		DieReadBW:        900e6,
+		DeviceWriteBW:    2170e6,
+		DeviceReadBW:     3265e6,
+		CmdOverhead:      3 * sim.Microsecond,
+		BufWriteLatency:  8 * sim.Microsecond,
+		BufReadLatency:   4 * sim.Microsecond,
+		DieReadLatency:   25 * sim.Microsecond,
+		ResetLatency:     2 * sim.Millisecond,
+		OOBBytesPerBlock: 64,
+	}
+}
+
+// PM1731a returns the Samsung PM1731a preset (Table 2): small 96 MB zones,
+// 64 KB ZRWA, 384 open zones.
+func PM1731a(numZones int) Config {
+	c := ZN540(numZones)
+	c.Name = "Samsung PM1731a"
+	c.ZoneBlocks = 96 * mib / 4096
+	c.ZRWABlocks = 64 * kib / 4096
+	c.MaxOpenZones = 384
+	c.NumChannels = 16
+	return c
+}
+
+// J5500Z returns the DapuStor J5500Z preset (Table 2): 18144 MB zones,
+// 1 MB ZRWA, 16 open zones.
+func J5500Z(numZones int) Config {
+	c := ZN540(numZones)
+	c.Name = "DapuStor J5500Z"
+	c.ZoneBlocks = 18144 * mib / 4096
+	c.ZRWABlocks = 1 * mib / 4096
+	c.MaxOpenZones = 16
+	return c
+}
+
+// NS8600G returns the Inspur NS8600G preset (Table 2): 2880 MB zones,
+// 1440 KB ZRWA, 8 open zones.
+func NS8600G(numZones int) Config {
+	c := ZN540(numZones)
+	c.Name = "Inspur NS8600G"
+	c.ZoneBlocks = 2880 * mib / 4096
+	c.ZRWABlocks = 1440 * kib / 4096
+	c.MaxOpenZones = 8
+	return c
+}
+
+// TestConfig returns a small, fast geometry for unit tests: 1 MB zones of
+// 4 KB blocks, 64 KB ZRWA, 4 channels x 2 dies.
+func TestConfig() Config {
+	return Config{
+		Name:             "test",
+		BlockSize:        4096,
+		ZoneBlocks:       256, // 1 MiB zones
+		NumZones:         64,
+		MaxOpenZones:     8,
+		ZRWABlocks:       16, // 64 KiB
+		NumChannels:      4,
+		DiesPerChannel:   2,
+		ChannelWriteBW:   1000e6,
+		ChannelReadBW:    1600e6,
+		DieWriteBW:       500e6,
+		DieReadBW:        900e6,
+		DeviceWriteBW:    2000e6,
+		DeviceReadBW:     3200e6,
+		CmdOverhead:      3 * sim.Microsecond,
+		BufWriteLatency:  8 * sim.Microsecond,
+		BufReadLatency:   4 * sim.Microsecond,
+		DieReadLatency:   25 * sim.Microsecond,
+		ResetLatency:     500 * sim.Microsecond,
+		OOBBytesPerBlock: 64,
+		StoreData:        true,
+	}
+}

@@ -1,0 +1,904 @@
+package zns
+
+import (
+	"fmt"
+
+	"biza/internal/sim"
+)
+
+// ZoneState is the NVMe ZNS zone state machine.
+type ZoneState uint8
+
+// Zone states.
+const (
+	ZoneEmpty ZoneState = iota
+	ZoneImplicitOpen
+	ZoneExplicitOpen
+	ZoneClosed
+	ZoneFull
+	ZoneReadOnly
+	ZoneOffline
+)
+
+func (s ZoneState) String() string {
+	switch s {
+	case ZoneEmpty:
+		return "empty"
+	case ZoneImplicitOpen:
+		return "implicit-open"
+	case ZoneExplicitOpen:
+		return "explicit-open"
+	case ZoneClosed:
+		return "closed"
+	case ZoneFull:
+		return "full"
+	case ZoneReadOnly:
+		return "read-only"
+	case ZoneOffline:
+		return "offline"
+	}
+	return "unknown"
+}
+
+// IsOpen reports whether the state counts against the open-zone limit.
+func (s ZoneState) IsOpen() bool { return s == ZoneImplicitOpen || s == ZoneExplicitOpen }
+
+// WriteTag classifies write traffic for flash accounting. The device itself
+// is oblivious to the distinction; the host engines label their commands so
+// experiments can split write amplification into data/parity/GC components.
+type WriteTag uint8
+
+// Traffic classes.
+const (
+	TagUserData WriteTag = iota
+	TagParity
+	TagGCData
+	TagGCParity
+	TagMeta
+	numTags
+)
+
+func (t WriteTag) String() string {
+	switch t {
+	case TagUserData:
+		return "data"
+	case TagParity:
+		return "parity"
+	case TagGCData:
+		return "gc-data"
+	case TagGCParity:
+		return "gc-parity"
+	case TagMeta:
+		return "meta"
+	}
+	return "unknown"
+}
+
+// IsParity reports whether the tag carries parity bytes.
+func (t WriteTag) IsParity() bool { return t == TagParity || t == TagGCParity }
+
+// WriteResult is the completion of a Write.
+type WriteResult struct {
+	Err     error
+	Latency sim.Time
+}
+
+// AppendResult is the completion of an Append.
+type AppendResult struct {
+	Err     error
+	LBA     int64 // device-assigned start block within the zone
+	Latency sim.Time
+}
+
+// ReadResult is the completion of a Read.
+type ReadResult struct {
+	Err     error
+	Data    []byte   // nil unless Config.StoreData
+	OOB     [][]byte // per-block OOB records, nil entries for never-written
+	Latency sim.Time
+}
+
+// FlashStats aggregates flash-level traffic counters.
+type FlashStats struct {
+	ProgrammedBytes [numTags]uint64 // programmed to flash, by traffic class
+	AbsorbedBytes   uint64          // overwrites absorbed in ZRWA (never programmed)
+	Erases          uint64
+	ReadBytes       uint64
+}
+
+// TotalProgrammed reports flash-programmed bytes across all classes.
+func (f FlashStats) TotalProgrammed() uint64 {
+	var t uint64
+	for _, v := range f.ProgrammedBytes {
+		t += v
+	}
+	return t
+}
+
+// ProgrammedByTag reports programmed bytes for one traffic class.
+func (f FlashStats) ProgrammedByTag(t WriteTag) uint64 { return f.ProgrammedBytes[t] }
+
+// bufBlock is one dirty or committed-but-unprogrammed block in the device
+// write buffer.
+type bufBlock struct {
+	data []byte
+	oob  []byte
+	tag  WriteTag
+}
+
+type waiter struct {
+	need int64 // buffer credit still required
+	run  func()
+}
+
+type zone struct {
+	state      ZoneState
+	zrwa       bool  // opened with ZRWA
+	wp         int64 // committed boundary in blocks; ZRWA window starts here
+	written    int64 // highest block index written + 1 (for reads)
+	dirty      map[int64]*bufBlock
+	pending    map[int64]*bufBlock // committed, program in flight
+	credit     int64               // free buffer slots (blocks)
+	waiters    []waiter
+	data       map[int64][]byte // flash contents (StoreData only)
+	oob        map[int64][]byte
+	eraseCount uint64
+	channel    int
+}
+
+type channel struct {
+	writeBus *sim.Resource // serializes programs on this channel (zone write cap)
+	readBus  *sim.Resource
+	dies     *sim.Resource // die pipeline shared by reads, programs, erases
+}
+
+// Device is a simulated ZNS SSD. All methods must be called from the
+// simulation goroutine; completions fire as virtual-time events.
+type Device struct {
+	cfg   Config
+	eng   *sim.Engine
+	zones []*zone
+	chans []*channel
+
+	controller *sim.Resource
+	writeLink  *sim.Resource
+	readLink   *sim.Resource
+
+	openCount   int
+	activeCount int
+
+	stats FlashStats
+}
+
+// New creates a device. The zone-to-channel map is fixed at creation:
+// round-robin, with Config.ShuffleFraction of zones remapped pseudo-randomly
+// (deterministic in Config.Seed) to model wear-leveling on aged devices.
+func New(eng *sim.Engine, cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxActiveZone == 0 {
+		cfg.MaxActiveZone = 2 * cfg.MaxOpenZones
+	}
+	d := &Device{
+		cfg:        cfg,
+		eng:        eng,
+		controller: sim.NewResource(eng, 1),
+		writeLink:  sim.NewResource(eng, 1),
+		readLink:   sim.NewResource(eng, 1),
+	}
+	d.chans = make([]*channel, cfg.NumChannels)
+	for i := range d.chans {
+		d.chans[i] = &channel{
+			writeBus: sim.NewResource(eng, 1),
+			readBus:  sim.NewResource(eng, 1),
+			dies:     sim.NewResource(eng, cfg.DiesPerChannel),
+		}
+	}
+	rng := sim.NewRNG(cfg.Seed ^ 0xb12a)
+	d.zones = make([]*zone, cfg.NumZones)
+	for i := range d.zones {
+		ch := i % cfg.NumChannels
+		if cfg.ShuffleFraction > 0 && rng.Float64() < cfg.ShuffleFraction {
+			ch = rng.Intn(cfg.NumChannels)
+		}
+		d.zones[i] = &zone{channel: ch}
+	}
+	return d, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Engine returns the simulation engine the device runs on.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Stats returns a snapshot of flash traffic counters.
+func (d *Device) Stats() FlashStats { return d.stats }
+
+// ResetStats zeroes the traffic counters (experiments call this after
+// preconditioning).
+func (d *Device) ResetStats() { d.stats = FlashStats{} }
+
+// NumChannels reports the channel count — datasheet-level information a
+// host legitimately has. Which zone maps to which channel stays hidden.
+func (d *Device) NumChannels() int { return d.cfg.NumChannels }
+
+// TrueChannelOf exposes the hidden zone-to-channel mapping. It exists for
+// tests and oracle baselines only; AFA engines must not call it — BIZA's
+// whole §4.3 mechanism exists because real devices do not reveal this.
+func (d *Device) TrueChannelOf(z int) int { return d.zones[z].channel }
+
+// EraseCount reports how many times zone z has been erased.
+func (d *Device) EraseCount(z int) uint64 { return d.zones[z].eraseCount }
+
+// ZoneInfo is the REPORT ZONES view of one zone.
+type ZoneInfo struct {
+	State      ZoneState
+	WritePtr   int64 // committed boundary in blocks
+	ZRWA       bool
+	Capacity   int64
+	EraseCount uint64
+}
+
+// Zones reports the zone count.
+func (d *Device) Zones() int { return d.cfg.NumZones }
+
+// ZoneInfo returns the current state of zone z (a REPORT ZONES lookup;
+// engines should use it sparingly on hot paths — BIZA tracks the window
+// host-side instead, §4.4).
+func (d *Device) ZoneInfo(z int) (ZoneInfo, error) {
+	if z < 0 || z >= len(d.zones) {
+		return ZoneInfo{}, ErrBadZone
+	}
+	zn := d.zones[z]
+	return ZoneInfo{
+		State:      zn.state,
+		WritePtr:   zn.wp,
+		ZRWA:       zn.zrwa,
+		Capacity:   d.cfg.ZoneBlocks,
+		EraseCount: zn.eraseCount,
+	}, nil
+}
+
+// OpenZones reports how many zones are currently open.
+func (d *Device) OpenZones() int { return d.openCount }
+
+func (d *Device) zoneArg(z int) (*zone, error) {
+	if z < 0 || z >= len(d.zones) {
+		return nil, ErrBadZone
+	}
+	zn := d.zones[z]
+	if zn.state == ZoneOffline {
+		return nil, ErrZoneOffline
+	}
+	return zn, nil
+}
+
+// OpenReport opens zone z like Open and additionally returns the zone's
+// I/O channel when the device implements the §6 future-ZNS proposal
+// (Config.ExposeChannelOnOpen); otherwise the channel is reported as -1,
+// exactly as today's opaque devices behave.
+func (d *Device) OpenReport(z int, withZRWA bool) (channel int, err error) {
+	if err := d.Open(z, withZRWA); err != nil {
+		return -1, err
+	}
+	if !d.cfg.ExposeChannelOnOpen {
+		return -1, nil
+	}
+	return d.zones[z].channel, nil
+}
+
+// Open transitions zone z to explicit-open, optionally with ZRWA. Opening a
+// closed zone re-opens it (ZRWA cannot be re-enabled on a partially
+// written zone in this model). Admin commands are synchronous: their cost
+// is negligible next to data-path service times.
+func (d *Device) Open(z int, withZRWA bool) error {
+	zn, err := d.zoneArg(z)
+	if err != nil {
+		return err
+	}
+	if withZRWA && d.cfg.ZRWABlocks == 0 {
+		return ErrZRWANotSupported
+	}
+	switch zn.state {
+	case ZoneExplicitOpen, ZoneImplicitOpen:
+		zn.state = ZoneExplicitOpen
+		return nil
+	case ZoneFull, ZoneReadOnly:
+		return ErrWrongState
+	case ZoneEmpty:
+		if d.openCount >= d.cfg.MaxOpenZones {
+			return ErrTooManyOpen
+		}
+		if d.activeCount >= d.cfg.MaxActiveZone {
+			return ErrTooManyOpen
+		}
+		d.openCount++
+		d.activeCount++
+	case ZoneClosed:
+		if d.openCount >= d.cfg.MaxOpenZones {
+			return ErrTooManyOpen
+		}
+		if withZRWA && zn.wp > 0 {
+			return ErrWrongState
+		}
+		d.openCount++
+	}
+	zn.state = ZoneExplicitOpen
+	zn.zrwa = withZRWA
+	if withZRWA {
+		// Buffer credit equals the window: a block entering the ZRWA must
+		// wait for an evicted block's flash program to release its slot.
+		// This is what starves a single in-flight writer (Fig. 5) while a
+		// deep queue keeps the channel pipeline full.
+		zn.credit = d.cfg.ZRWABlocks
+		if zn.dirty == nil {
+			zn.dirty = make(map[int64]*bufBlock)
+			zn.pending = make(map[int64]*bufBlock)
+		}
+	}
+	return nil
+}
+
+// Close transitions an open zone to closed, committing any ZRWA contents.
+func (d *Device) Close(z int) error {
+	zn, err := d.zoneArg(z)
+	if err != nil {
+		return err
+	}
+	if !zn.state.IsOpen() {
+		return ErrWrongState
+	}
+	if len(zn.waiters) > 0 {
+		return ErrWrongState
+	}
+	if zn.zrwa {
+		d.commitRange(zn, zn.maxDirty()+1)
+		zn.zrwa = false
+	}
+	zn.state = ZoneClosed
+	d.openCount--
+	return nil
+}
+
+// Finish commits any buffered contents and transitions the zone to full.
+func (d *Device) Finish(z int) error {
+	zn, err := d.zoneArg(z)
+	if err != nil {
+		return err
+	}
+	switch zn.state {
+	case ZoneFull:
+		return nil
+	case ZoneEmpty, ZoneImplicitOpen, ZoneExplicitOpen, ZoneClosed:
+	default:
+		return ErrWrongState
+	}
+	if len(zn.waiters) > 0 {
+		return ErrWrongState
+	}
+	wasOpen := zn.state.IsOpen()
+	if zn.zrwa {
+		d.commitRange(zn, d.cfg.ZoneBlocks)
+		zn.zrwa = false
+	}
+	// Active = open + closed; a finished zone stops counting against the
+	// active-zone resource limit.
+	if wasOpen || zn.state == ZoneClosed {
+		d.activeCount--
+	}
+	zn.state = ZoneFull
+	zn.wp = d.cfg.ZoneBlocks
+	if wasOpen {
+		d.openCount--
+	}
+	return nil
+}
+
+// CommitZRWA explicitly commits the ZRWA up to (not including) block upTo,
+// advancing the committed boundary and scheduling flash programs for the
+// dirty blocks in the committed range.
+func (d *Device) CommitZRWA(z int, upTo int64) error {
+	zn, err := d.zoneArg(z)
+	if err != nil {
+		return err
+	}
+	if !zn.state.IsOpen() || !zn.zrwa {
+		return ErrWrongState
+	}
+	if upTo < zn.wp || upTo > zn.wp+d.cfg.ZRWABlocks || upTo > d.cfg.ZoneBlocks {
+		return ErrBadRange
+	}
+	d.commitRange(zn, upTo)
+	return nil
+}
+
+// Reset erases zone z back to empty. The erase occupies the zone's channel
+// dies for ResetLatency — the physical reason GC interferes with user I/O
+// on the same channel. done (optional) fires when the erase finishes.
+func (d *Device) Reset(z int, done func(error)) {
+	zn, err := d.zoneArg(z)
+	if err != nil || len(zn.waiters) > 0 {
+		if err == nil {
+			err = ErrWrongState
+		}
+		if done != nil {
+			err := err
+			d.eng.After(d.cfg.CmdOverhead, func() { done(err) })
+		}
+		return
+	}
+	if zn.state.IsOpen() {
+		d.openCount--
+	}
+	if zn.state.IsOpen() || zn.state == ZoneClosed {
+		d.activeCount--
+	}
+	zn.state = ZoneEmpty
+	zn.zrwa = false
+	zn.wp = 0
+	zn.written = 0
+	zn.dirty = nil
+	zn.pending = nil
+	zn.credit = 0
+	zn.data = nil
+	zn.oob = nil
+	zn.eraseCount++
+	d.stats.Erases++
+	// Erase busies every die on the channel.
+	ch := d.chans[zn.channel]
+	remaining := d.cfg.DiesPerChannel
+	for i := 0; i < d.cfg.DiesPerChannel; i++ {
+		ch.dies.Submit(d.cfg.ResetLatency, func(_, _ sim.Time) {
+			remaining--
+			if remaining == 0 && done != nil {
+				done(nil)
+			}
+		})
+	}
+}
+
+func (zn *zone) maxDirty() int64 {
+	max := zn.wp - 1
+	for b := range zn.dirty {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// commitRange advances the committed boundary to upTo and schedules flash
+// programs for dirty blocks in [old wp, upTo), batching contiguous runs.
+func (d *Device) commitRange(zn *zone, upTo int64) {
+	if upTo > d.cfg.ZoneBlocks {
+		upTo = d.cfg.ZoneBlocks
+	}
+	if upTo <= zn.wp {
+		return
+	}
+	var runStart int64 = -1
+	var run []*bufBlock
+	flush := func(start int64, blocks []*bufBlock) {
+		if len(blocks) == 0 {
+			return
+		}
+		d.program(zn, start, blocks)
+	}
+	const maxBatch = 16 // 64 KiB batches spread commits across dies
+	for b := zn.wp; b < upTo; b++ {
+		bb, ok := zn.dirty[b]
+		if !ok {
+			flush(runStart, run)
+			runStart, run = -1, nil
+			continue
+		}
+		delete(zn.dirty, b)
+		zn.pending[b] = bb
+		if runStart < 0 {
+			runStart = b
+		}
+		run = append(run, bb)
+		if len(run) >= maxBatch {
+			flush(runStart, run)
+			runStart, run = -1, nil
+		}
+	}
+	flush(runStart, run)
+	zn.wp = upTo
+}
+
+// program schedules the flash program of a contiguous run of committed
+// blocks: channel bus transfer, then a die program. On completion it
+// persists data/OOB, counts the traffic, releases buffer credit, and admits
+// waiting writes.
+func (d *Device) program(zn *zone, start int64, blocks []*bufBlock) {
+	size := int64(len(blocks)) * int64(d.cfg.BlockSize)
+	ch := d.chans[zn.channel]
+	busTime := size * sim.Second / d.cfg.ChannelWriteBW
+	dieTime := size * sim.Second / d.cfg.DieWriteBW
+	ch.writeBus.Submit(busTime, func(_, _ sim.Time) {
+		ch.dies.Submit(dieTime, func(_, _ sim.Time) {
+			for i, bb := range blocks {
+				b := start + int64(i)
+				delete(zn.pending, b)
+				if d.cfg.StoreData {
+					if zn.data == nil {
+						zn.data = make(map[int64][]byte)
+						zn.oob = make(map[int64][]byte)
+					}
+					if bb.data != nil {
+						zn.data[b] = bb.data
+					}
+					if bb.oob != nil {
+						zn.oob[b] = bb.oob
+					}
+				}
+				d.stats.ProgrammedBytes[bb.tag] += uint64(d.cfg.BlockSize)
+			}
+			d.releaseCredit(zn, int64(len(blocks)))
+		})
+	})
+}
+
+func (d *Device) releaseCredit(zn *zone, n int64) {
+	zn.credit += n
+	for len(zn.waiters) > 0 {
+		w := &zn.waiters[0]
+		if zn.credit < w.need {
+			return
+		}
+		zn.credit -= w.need
+		run := w.run
+		zn.waiters = zn.waiters[1:]
+		run()
+	}
+}
+
+// acquireCredit runs fn once need buffer slots are available, preserving
+// FIFO order among waiters.
+func (d *Device) acquireCredit(zn *zone, need int64, fn func()) {
+	if len(zn.waiters) == 0 && zn.credit >= need {
+		zn.credit -= need
+		fn()
+		return
+	}
+	zn.waiters = append(zn.waiters, waiter{need: need, run: fn})
+}
+
+func (d *Device) failWrite(done func(WriteResult), err error) {
+	if done == nil {
+		return
+	}
+	start := d.eng.Now()
+	d.eng.After(d.cfg.CmdOverhead, func() {
+		done(WriteResult{Err: err, Latency: d.eng.Now() - start})
+	})
+}
+
+// Write submits an async write of nblocks starting at block lba of zone z.
+// data, if non-nil, must hold nblocks*BlockSize bytes; oob, if non-nil,
+// holds one record per block. Rules:
+//
+//   - zones opened with ZRWA accept writes anywhere in the window
+//     [wp, wp+ZRWABlocks); writes beyond the window implicitly commit (shift)
+//     it, writes behind wp fail with ErrOutOfWindow;
+//   - zones without ZRWA accept only lba == wp (ErrNotSequential otherwise).
+//
+// Validation happens at submission order — the order the driver delivers
+// commands, which is what makes kernel-level reordering dangerous (§3.2).
+func (d *Device) Write(z int, lba int64, nblocks int, data []byte, oob [][]byte, tag WriteTag, done func(WriteResult)) {
+	start := d.eng.Now()
+	zn, err := d.zoneArg(z)
+	if err != nil {
+		d.failWrite(done, err)
+		return
+	}
+	if zn.state == ZoneReadOnly {
+		d.failWrite(done, ErrReadOnly)
+		return
+	}
+	if zn.state == ZoneFull {
+		d.failWrite(done, ErrZoneFull)
+		return
+	}
+	n := int64(nblocks)
+	if nblocks <= 0 || lba < 0 || lba+n > d.cfg.ZoneBlocks {
+		d.failWrite(done, ErrBadRange)
+		return
+	}
+	if data != nil && int64(len(data)) != n*int64(d.cfg.BlockSize) {
+		d.failWrite(done, fmt.Errorf("zns: data length %d for %d blocks", len(data), nblocks))
+		return
+	}
+	// Implicit open on first write to an empty/closed zone.
+	if zn.state == ZoneEmpty || zn.state == ZoneClosed {
+		if d.openCount >= d.cfg.MaxOpenZones ||
+			(zn.state == ZoneEmpty && d.activeCount >= d.cfg.MaxActiveZone) {
+			d.failWrite(done, ErrTooManyOpen)
+			return
+		}
+		if zn.state == ZoneEmpty {
+			d.activeCount++
+		}
+		zn.state = ZoneImplicitOpen
+		d.openCount++
+	}
+
+	size := n * int64(d.cfg.BlockSize)
+	if !zn.zrwa {
+		// Plain sequential path: validate against wp, program directly.
+		if lba != zn.wp {
+			d.failWrite(done, ErrNotSequential)
+			return
+		}
+		zn.wp += n
+		if zn.written < zn.wp {
+			zn.written = zn.wp
+		}
+		if zn.wp == d.cfg.ZoneBlocks {
+			// Last sequential write fills the zone: full; its open and
+			// active slots are both freed.
+			zn.state = ZoneFull
+			d.openCount--
+			d.activeCount--
+		}
+		ch := d.chans[zn.channel]
+		d.controller.Submit(d.cfg.CmdOverhead, func(_, _ sim.Time) {
+			d.writeLink.Submit(size*sim.Second/d.cfg.DeviceWriteBW, func(_, _ sim.Time) {
+				ch.writeBus.Submit(size*sim.Second/d.cfg.ChannelWriteBW, func(_, _ sim.Time) {
+					ch.dies.Submit(size*sim.Second/d.cfg.DieWriteBW, func(_, _ sim.Time) {
+						if d.cfg.StoreData {
+							d.storeDirect(zn, lba, nblocks, data, oob)
+						}
+						d.stats.ProgrammedBytes[tag] += uint64(size)
+						if done != nil {
+							done(WriteResult{Latency: d.eng.Now() - start})
+						}
+					})
+				})
+			})
+		})
+		return
+	}
+
+	// ZRWA path.
+	if n > d.cfg.ZRWABlocks {
+		d.failWrite(done, ErrBadRange)
+		return
+	}
+	if lba < zn.wp {
+		d.failWrite(done, ErrOutOfWindow)
+		return
+	}
+	if end := lba + n; end > zn.wp+d.cfg.ZRWABlocks {
+		// Implicit commit: shift the window right so the write fits.
+		d.commitRange(zn, end-d.cfg.ZRWABlocks)
+	}
+	// Count slots needed (first-touch blocks only) at validation time so
+	// concurrent in-flight writes see consistent dirty state.
+	var need int64
+	newBlocks := make([]bool, nblocks)
+	for i := int64(0); i < n; i++ {
+		b := lba + i
+		if _, ok := zn.dirty[b]; !ok {
+			need++
+			newBlocks[i] = true
+		} else {
+			d.stats.AbsorbedBytes += uint64(d.cfg.BlockSize)
+		}
+	}
+	for i := int64(0); i < n; i++ {
+		b := lba + i
+		bb := zn.dirty[b]
+		if bb == nil {
+			bb = &bufBlock{}
+			zn.dirty[b] = bb
+		}
+		bb.tag = tag
+		if data != nil {
+			bb.data = append([]byte(nil), data[i*int64(d.cfg.BlockSize):(i+1)*int64(d.cfg.BlockSize)]...)
+		}
+		if oob != nil && int(i) < len(oob) && oob[i] != nil {
+			bb.oob = append([]byte(nil), oob[i]...)
+		}
+	}
+	if zn.written < lba+n {
+		zn.written = lba + n
+	}
+	d.controller.Submit(d.cfg.CmdOverhead, func(_, _ sim.Time) {
+		d.acquireCredit(zn, need, func() {
+			d.writeLink.Submit(size*sim.Second/d.cfg.DeviceWriteBW, func(_, _ sim.Time) {
+				d.eng.After(d.cfg.BufWriteLatency, func() {
+					if done != nil {
+						done(WriteResult{Latency: d.eng.Now() - start})
+					}
+				})
+			})
+		})
+	})
+}
+
+func (d *Device) storeDirect(zn *zone, lba int64, nblocks int, data []byte, oob [][]byte) {
+	if zn.data == nil {
+		zn.data = make(map[int64][]byte)
+		zn.oob = make(map[int64][]byte)
+	}
+	bs := int64(d.cfg.BlockSize)
+	for i := int64(0); i < int64(nblocks); i++ {
+		b := lba + i
+		if data != nil {
+			zn.data[b] = append([]byte(nil), data[i*bs:(i+1)*bs]...)
+		}
+		if oob != nil && int(i) < len(oob) && oob[i] != nil {
+			zn.oob[b] = append([]byte(nil), oob[i]...)
+		}
+	}
+}
+
+// Append submits a zone append: the device assigns the write position at
+// the current write pointer. Appends are rejected on zones opened with
+// ZRWA (NVMe makes the features mutually exclusive).
+func (d *Device) Append(z int, nblocks int, data []byte, oob [][]byte, tag WriteTag, done func(AppendResult)) {
+	start := d.eng.Now()
+	fail := func(err error) {
+		if done == nil {
+			return
+		}
+		d.eng.After(d.cfg.CmdOverhead, func() {
+			done(AppendResult{Err: err, Latency: d.eng.Now() - start})
+		})
+	}
+	zn, err := d.zoneArg(z)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if zn.zrwa {
+		fail(ErrAppendWithZRWA)
+		return
+	}
+	if zn.state == ZoneFull || zn.wp+int64(nblocks) > d.cfg.ZoneBlocks {
+		fail(ErrZoneFull)
+		return
+	}
+	lba := zn.wp
+	d.Write(z, lba, nblocks, data, oob, tag, func(r WriteResult) {
+		if done != nil {
+			done(AppendResult{Err: r.Err, LBA: lba, Latency: r.Latency})
+		}
+	})
+}
+
+// Read submits an async read of nblocks starting at block lba of zone z.
+// Blocks resident in the ZRWA buffer are served from DRAM; anything else
+// takes the flash path through the zone's channel (and therefore contends
+// with GC traffic on that channel).
+func (d *Device) Read(z int, lba int64, nblocks int, done func(ReadResult)) {
+	start := d.eng.Now()
+	fail := func(err error) {
+		if done == nil {
+			return
+		}
+		d.eng.After(d.cfg.CmdOverhead, func() {
+			done(ReadResult{Err: err, Latency: d.eng.Now() - start})
+		})
+	}
+	zn, err := d.zoneArg(z)
+	if err != nil {
+		fail(err)
+		return
+	}
+	n := int64(nblocks)
+	if nblocks <= 0 || lba < 0 || lba+n > d.cfg.ZoneBlocks {
+		fail(ErrBadRange)
+		return
+	}
+	size := n * int64(d.cfg.BlockSize)
+	d.stats.ReadBytes += uint64(size)
+
+	inBuffer := true
+	for i := int64(0); i < n; i++ {
+		b := lba + i
+		if zn.dirty != nil {
+			if _, ok := zn.dirty[b]; ok {
+				continue
+			}
+			if _, ok := zn.pending[b]; ok {
+				continue
+			}
+		}
+		inBuffer = false
+		break
+	}
+
+	finish := func() {
+		if done == nil {
+			return
+		}
+		var data []byte
+		var oob [][]byte
+		if d.cfg.StoreData {
+			data = make([]byte, size)
+			oob = make([][]byte, nblocks)
+			bs := int64(d.cfg.BlockSize)
+			for i := int64(0); i < n; i++ {
+				b := lba + i
+				var src []byte
+				var so []byte
+				if zn.dirty != nil {
+					if bb, ok := zn.dirty[b]; ok {
+						src, so = bb.data, bb.oob
+					} else if bb, ok := zn.pending[b]; ok {
+						src, so = bb.data, bb.oob
+					}
+				}
+				if src == nil && zn.data != nil {
+					src, so = zn.data[b], zn.oob[b]
+				}
+				if src != nil {
+					copy(data[i*bs:(i+1)*bs], src)
+				}
+				if so != nil {
+					oob[i] = append([]byte(nil), so...)
+				}
+			}
+		}
+		done(ReadResult{Data: data, OOB: oob, Latency: d.eng.Now() - start})
+	}
+
+	d.controller.Submit(d.cfg.CmdOverhead, func(_, _ sim.Time) {
+		if inBuffer {
+			d.eng.After(d.cfg.BufReadLatency, func() {
+				d.readLink.Submit(size*sim.Second/d.cfg.DeviceReadBW, func(_, _ sim.Time) {
+					finish()
+				})
+			})
+			return
+		}
+		ch := d.chans[zn.channel]
+		ch.readBus.Submit(size*sim.Second/d.cfg.ChannelReadBW, func(_, _ sim.Time) {
+			ch.dies.Submit(d.cfg.DieReadLatency+size*sim.Second/d.cfg.DieReadBW, func(_, _ sim.Time) {
+				d.readLink.Submit(size*sim.Second/d.cfg.DeviceReadBW, func(_, _ sim.Time) {
+					finish()
+				})
+			})
+		})
+	})
+}
+
+// SetOffline marks a zone dead (fault injection for degraded-mode tests).
+func (d *Device) SetOffline(z int) error {
+	zn, err := d.zoneArg(z)
+	if err != nil {
+		return err
+	}
+	if zn.state.IsOpen() {
+		d.openCount--
+	}
+	if zn.state.IsOpen() || zn.state == ZoneClosed {
+		d.activeCount--
+	}
+	zn.state = ZoneOffline
+	return nil
+}
+
+// ChannelUtilization reports the fraction of elapsed virtual time channel
+// ch's program bus spent busy — telemetry for parallelism experiments.
+func (d *Device) ChannelUtilization(ch int, elapsed sim.Time) float64 {
+	if ch < 0 || ch >= len(d.chans) || elapsed <= 0 {
+		return 0
+	}
+	return float64(d.chans[ch].writeBus.BusyTime()) / float64(elapsed)
+}
+
+// ReportZones returns the REPORT ZONES view of every zone (the full-device
+// variant of ZoneInfo; recovery and tooling use it).
+func (d *Device) ReportZones() []ZoneInfo {
+	out := make([]ZoneInfo, len(d.zones))
+	for z := range d.zones {
+		out[z], _ = d.ZoneInfo(z)
+	}
+	return out
+}

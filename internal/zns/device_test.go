@@ -1,0 +1,1005 @@
+package zns
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"biza/internal/sim"
+)
+
+func newTestDev(t *testing.T) (*sim.Engine, *Device) {
+	t.Helper()
+	eng := sim.NewEngine()
+	d, err := New(eng, TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, d
+}
+
+func block(seed byte, size int) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+// writeSync drives a write to completion and returns its result.
+func writeSync(eng *sim.Engine, d *Device, z int, lba int64, n int, data []byte, tag WriteTag) WriteResult {
+	var res WriteResult
+	got := false
+	d.Write(z, lba, n, data, nil, tag, func(r WriteResult) { res = r; got = true })
+	eng.Run()
+	if !got {
+		panic("write never completed")
+	}
+	return res
+}
+
+func readSync(eng *sim.Engine, d *Device, z int, lba int64, n int) ReadResult {
+	var res ReadResult
+	got := false
+	d.Read(z, lba, n, func(r ReadResult) { res = r; got = true })
+	eng.Run()
+	if !got {
+		panic("read never completed")
+	}
+	return res
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := TestConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.BlockSize = 0
+	if bad.Validate() == nil {
+		t.Fatal("accepted zero block size")
+	}
+	bad = good
+	bad.NumChannels = 0
+	if bad.Validate() == nil {
+		t.Fatal("accepted zero channels")
+	}
+	bad = good
+	bad.DeviceWriteBW = 0
+	if bad.Validate() == nil {
+		t.Fatal("accepted zero bandwidth")
+	}
+}
+
+func TestTable2Presets(t *testing.T) {
+	// The paper's Table 2 numbers must fall out of the presets.
+	cases := []struct {
+		cfg       Config
+		zoneMB    int64
+		zrwaKB    int64
+		openMax   int
+		totalZRWA int64 // bytes
+	}{
+		{ZN540(16), 1077, 1024, 14, 14 * mib},
+		{J5500Z(4), 18144, 1024, 16, 16 * mib},
+		{NS8600G(8), 2880, 1440, 8, 11520 * kib},
+		{PM1731a(64), 96, 64, 384, 24 * mib},
+	}
+	for _, c := range cases {
+		if got := c.cfg.ZoneBytes() / mib; got != c.zoneMB {
+			t.Errorf("%s zone = %d MB, want %d", c.cfg.Name, got, c.zoneMB)
+		}
+		if got := c.cfg.ZRWABytes() / kib; got != c.zrwaKB {
+			t.Errorf("%s zrwa = %d KB, want %d", c.cfg.Name, got, c.zrwaKB)
+		}
+		if c.cfg.MaxOpenZones != c.openMax {
+			t.Errorf("%s maxopen = %d, want %d", c.cfg.Name, c.cfg.MaxOpenZones, c.openMax)
+		}
+		if got := c.cfg.TotalZRWABytes(); got != c.totalZRWA {
+			t.Errorf("%s total zrwa = %d, want %d", c.cfg.Name, got, c.totalZRWA)
+		}
+	}
+}
+
+func TestSequentialWriteAdvancesWP(t *testing.T) {
+	eng, d := newTestDev(t)
+	if r := writeSync(eng, d, 0, 0, 4, block(1, 4*4096), TagUserData); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	info, _ := d.ZoneInfo(0)
+	if info.WritePtr != 4 {
+		t.Fatalf("wp = %d, want 4", info.WritePtr)
+	}
+	if info.State != ZoneImplicitOpen {
+		t.Fatalf("state = %v, want implicit-open", info.State)
+	}
+}
+
+func TestNonSequentialWriteFails(t *testing.T) {
+	eng, d := newTestDev(t)
+	writeSync(eng, d, 0, 0, 2, nil, TagUserData)
+	if r := writeSync(eng, d, 0, 5, 1, nil, TagUserData); !errors.Is(r.Err, ErrNotSequential) {
+		t.Fatalf("gap write err = %v, want ErrNotSequential", r.Err)
+	}
+	if r := writeSync(eng, d, 0, 0, 1, nil, TagUserData); !errors.Is(r.Err, ErrNotSequential) {
+		t.Fatalf("rewind write err = %v, want ErrNotSequential", r.Err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	eng, d := newTestDev(t)
+	payload := block(7, 3*4096)
+	writeSync(eng, d, 2, 0, 3, payload, TagUserData)
+	r := readSync(eng, d, 2, 0, 3)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if !bytes.Equal(r.Data, payload) {
+		t.Fatal("read data != written data")
+	}
+}
+
+func TestUnwrittenBlocksReadZero(t *testing.T) {
+	eng, d := newTestDev(t)
+	r := readSync(eng, d, 1, 10, 2)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	for _, b := range r.Data {
+		if b != 0 {
+			t.Fatal("unwritten block not zero")
+		}
+	}
+}
+
+func TestZoneFullTransition(t *testing.T) {
+	eng, d := newTestDev(t)
+	cfg := d.Config()
+	var lba int64
+	for lba < cfg.ZoneBlocks {
+		if r := writeSync(eng, d, 0, lba, 16, nil, TagUserData); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		lba += 16
+	}
+	info, _ := d.ZoneInfo(0)
+	if info.State != ZoneFull {
+		t.Fatalf("state = %v, want full", info.State)
+	}
+	if d.OpenZones() != 0 {
+		t.Fatalf("open zones = %d after fill, want 0", d.OpenZones())
+	}
+	if r := writeSync(eng, d, 0, lba, 1, nil, TagUserData); !errors.Is(r.Err, ErrZoneFull) {
+		t.Fatalf("write to full zone err = %v", r.Err)
+	}
+}
+
+func TestMaxOpenZones(t *testing.T) {
+	eng, d := newTestDev(t)
+	cfg := d.Config()
+	for z := 0; z < cfg.MaxOpenZones; z++ {
+		if r := writeSync(eng, d, z, 0, 1, nil, TagUserData); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if r := writeSync(eng, d, cfg.MaxOpenZones, 0, 1, nil, TagUserData); !errors.Is(r.Err, ErrTooManyOpen) {
+		t.Fatalf("overflow open err = %v, want ErrTooManyOpen", r.Err)
+	}
+	// Finishing one zone frees a slot.
+	if err := d.Finish(0); err != nil {
+		t.Fatal(err)
+	}
+	if r := writeSync(eng, d, cfg.MaxOpenZones, 0, 1, nil, TagUserData); r.Err != nil {
+		t.Fatalf("write after finish err = %v", r.Err)
+	}
+}
+
+func TestExplicitOpenRules(t *testing.T) {
+	_, d := newTestDev(t)
+	if err := d.Open(0, true); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := d.ZoneInfo(0)
+	if info.State != ZoneExplicitOpen || !info.ZRWA {
+		t.Fatalf("open state = %+v", info)
+	}
+	cfg := d.Config()
+	for z := 1; z < cfg.MaxOpenZones; z++ {
+		if err := d.Open(z, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Open(cfg.MaxOpenZones, false); !errors.Is(err, ErrTooManyOpen) {
+		t.Fatalf("open overflow err = %v", err)
+	}
+}
+
+func TestZRWARandomWriteWithinWindow(t *testing.T) {
+	eng, d := newTestDev(t)
+	if err := d.Open(0, true); err != nil {
+		t.Fatal(err)
+	}
+	// Random order within the 16-block window, all must succeed.
+	for _, lba := range []int64{5, 0, 15, 7, 3} {
+		if r := writeSync(eng, d, 0, lba, 1, block(byte(lba), 4096), TagUserData); r.Err != nil {
+			t.Fatalf("zrwa write at %d: %v", lba, r.Err)
+		}
+	}
+	r := readSync(eng, d, 0, 5, 1)
+	if !bytes.Equal(r.Data, block(5, 4096)) {
+		t.Fatal("zrwa buffered read mismatch")
+	}
+}
+
+func TestZRWAInPlaceUpdateAbsorbed(t *testing.T) {
+	eng, d := newTestDev(t)
+	if err := d.Open(0, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if r := writeSync(eng, d, 0, 3, 1, block(byte(i), 4096), TagUserData); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	st := d.Stats()
+	if st.TotalProgrammed() != 0 {
+		t.Fatalf("in-window overwrites reached flash: %d bytes", st.TotalProgrammed())
+	}
+	if st.AbsorbedBytes != 9*4096 {
+		t.Fatalf("absorbed = %d, want %d", st.AbsorbedBytes, 9*4096)
+	}
+	r := readSync(eng, d, 0, 3, 1)
+	if !bytes.Equal(r.Data, block(9, 4096)) {
+		t.Fatal("latest overwrite not visible")
+	}
+}
+
+func TestZRWAImplicitShiftFlushes(t *testing.T) {
+	eng, d := newTestDev(t)
+	if err := d.Open(0, true); err != nil {
+		t.Fatal(err)
+	}
+	cfg := d.Config()
+	// Fill the whole window [0,16), then write one block beyond: the window
+	// shifts right by one and block 0 is flushed to flash.
+	for lba := int64(0); lba < cfg.ZRWABlocks; lba++ {
+		writeSync(eng, d, 0, lba, 1, block(byte(lba), 4096), TagUserData)
+	}
+	if d.Stats().TotalProgrammed() != 0 {
+		t.Fatal("window fill should not flush")
+	}
+	writeSync(eng, d, 0, cfg.ZRWABlocks, 1, block(99, 4096), TagUserData)
+	eng.Run()
+	info, _ := d.ZoneInfo(0)
+	if info.WritePtr != 1 {
+		t.Fatalf("wp = %d after shift, want 1", info.WritePtr)
+	}
+	if got := d.Stats().TotalProgrammed(); got != 4096 {
+		t.Fatalf("programmed = %d, want 4096", got)
+	}
+	// Block 0 is now immutable.
+	if r := writeSync(eng, d, 0, 0, 1, nil, TagUserData); !errors.Is(r.Err, ErrOutOfWindow) {
+		t.Fatalf("write behind window err = %v", r.Err)
+	}
+	// Flushed data still readable from flash.
+	r := readSync(eng, d, 0, 0, 1)
+	if !bytes.Equal(r.Data, block(0, 4096)) {
+		t.Fatal("flushed block content lost")
+	}
+}
+
+func TestZRWAExplicitCommit(t *testing.T) {
+	eng, d := newTestDev(t)
+	if err := d.Open(0, true); err != nil {
+		t.Fatal(err)
+	}
+	writeSync(eng, d, 0, 0, 8, block(1, 8*4096), TagUserData)
+	if err := d.CommitZRWA(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	info, _ := d.ZoneInfo(0)
+	if info.WritePtr != 8 {
+		t.Fatalf("wp = %d, want 8", info.WritePtr)
+	}
+	if got := d.Stats().TotalProgrammed(); got != 8*4096 {
+		t.Fatalf("programmed = %d, want %d", got, 8*4096)
+	}
+	if err := d.CommitZRWA(0, 4); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("backward commit err = %v", err)
+	}
+	if err := d.CommitZRWA(0, 8+d.Config().ZRWABlocks+1); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("too-far commit err = %v", err)
+	}
+}
+
+func TestZRWACommitSkipsHoles(t *testing.T) {
+	eng, d := newTestDev(t)
+	if err := d.Open(0, true); err != nil {
+		t.Fatal(err)
+	}
+	// Write blocks 0 and 2, leave a hole at 1; commit all three.
+	writeSync(eng, d, 0, 0, 1, block(1, 4096), TagUserData)
+	writeSync(eng, d, 0, 2, 1, block(3, 4096), TagUserData)
+	if err := d.CommitZRWA(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got := d.Stats().TotalProgrammed(); got != 2*4096 {
+		t.Fatalf("programmed = %d, want %d (holes skipped)", got, 2*4096)
+	}
+	r := readSync(eng, d, 0, 1, 1)
+	for _, b := range r.Data {
+		if b != 0 {
+			t.Fatal("hole block not zero")
+		}
+	}
+}
+
+func TestZRWAFinishFlushesAndFills(t *testing.T) {
+	eng, d := newTestDev(t)
+	if err := d.Open(0, true); err != nil {
+		t.Fatal(err)
+	}
+	writeSync(eng, d, 0, 0, 5, block(1, 5*4096), TagUserData)
+	if err := d.Finish(0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	info, _ := d.ZoneInfo(0)
+	if info.State != ZoneFull {
+		t.Fatalf("state = %v", info.State)
+	}
+	if got := d.Stats().TotalProgrammed(); got != 5*4096 {
+		t.Fatalf("programmed = %d", got)
+	}
+	if d.OpenZones() != 0 {
+		t.Fatal("finish did not release open slot")
+	}
+	r := readSync(eng, d, 0, 0, 5)
+	if !bytes.Equal(r.Data, block(1, 5*4096)) {
+		t.Fatal("finished zone content lost")
+	}
+}
+
+func TestZRWAWriteLargerThanWindowRejected(t *testing.T) {
+	eng, d := newTestDev(t)
+	if err := d.Open(0, true); err != nil {
+		t.Fatal(err)
+	}
+	n := int(d.Config().ZRWABlocks) + 1
+	if r := writeSync(eng, d, 0, 0, n, nil, TagUserData); !errors.Is(r.Err, ErrBadRange) {
+		t.Fatalf("oversized zrwa write err = %v", r.Err)
+	}
+}
+
+func TestAppendAssignsLBA(t *testing.T) {
+	eng, d := newTestDev(t)
+	var lbas []int64
+	for i := 0; i < 3; i++ {
+		d.Append(0, 2, nil, nil, TagUserData, func(r AppendResult) {
+			if r.Err != nil {
+				t.Errorf("append: %v", r.Err)
+			}
+			lbas = append(lbas, r.LBA)
+		})
+	}
+	eng.Run()
+	want := []int64{0, 2, 4}
+	for i, w := range want {
+		if lbas[i] != w {
+			t.Fatalf("append lbas = %v, want %v", lbas, want)
+		}
+	}
+}
+
+func TestAppendRejectedOnZRWAZone(t *testing.T) {
+	eng, d := newTestDev(t)
+	if err := d.Open(0, true); err != nil {
+		t.Fatal(err)
+	}
+	var got error
+	d.Append(0, 1, nil, nil, TagUserData, func(r AppendResult) { got = r.Err })
+	eng.Run()
+	if !errors.Is(got, ErrAppendWithZRWA) {
+		t.Fatalf("append on zrwa zone err = %v", got)
+	}
+}
+
+func TestResetClearsZone(t *testing.T) {
+	eng, d := newTestDev(t)
+	writeSync(eng, d, 0, 0, 4, block(1, 4*4096), TagUserData)
+	var rerr error
+	fired := false
+	d.Reset(0, func(err error) { rerr = err; fired = true })
+	eng.Run()
+	if !fired || rerr != nil {
+		t.Fatalf("reset fired=%v err=%v", fired, rerr)
+	}
+	info, _ := d.ZoneInfo(0)
+	if info.State != ZoneEmpty || info.WritePtr != 0 {
+		t.Fatalf("zone after reset: %+v", info)
+	}
+	if d.EraseCount(0) != 1 {
+		t.Fatalf("erase count = %d", d.EraseCount(0))
+	}
+	r := readSync(eng, d, 0, 0, 1)
+	for _, b := range r.Data {
+		if b != 0 {
+			t.Fatal("reset did not drop data")
+		}
+	}
+	// The zone is writable from block 0 again.
+	if r := writeSync(eng, d, 0, 0, 1, nil, TagUserData); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+}
+
+func TestResetDropsZRWABuffer(t *testing.T) {
+	eng, d := newTestDev(t)
+	if err := d.Open(0, true); err != nil {
+		t.Fatal(err)
+	}
+	writeSync(eng, d, 0, 0, 4, block(9, 4*4096), TagUserData)
+	d.Reset(0, nil)
+	eng.Run()
+	if d.Stats().TotalProgrammed() != 0 {
+		t.Fatal("reset flushed buffer to flash")
+	}
+	info, _ := d.ZoneInfo(0)
+	if info.ZRWA {
+		t.Fatal("zrwa flag survived reset")
+	}
+}
+
+func TestWriteTagsAccountedSeparately(t *testing.T) {
+	eng, d := newTestDev(t)
+	writeSync(eng, d, 0, 0, 2, nil, TagUserData)
+	writeSync(eng, d, 1, 0, 1, nil, TagParity)
+	writeSync(eng, d, 2, 0, 3, nil, TagGCData)
+	st := d.Stats()
+	if st.ProgrammedByTag(TagUserData) != 2*4096 ||
+		st.ProgrammedByTag(TagParity) != 4096 ||
+		st.ProgrammedByTag(TagGCData) != 3*4096 {
+		t.Fatalf("per-tag accounting wrong: %+v", st.ProgrammedBytes)
+	}
+}
+
+func TestOOBPersistedWithData(t *testing.T) {
+	eng, d := newTestDev(t)
+	oob := [][]byte{[]byte("lbn=42,sn=7"), []byte("lbn=43,sn=7")}
+	var done bool
+	d.Write(0, 0, 2, block(1, 2*4096), oob, TagUserData, func(r WriteResult) {
+		if r.Err != nil {
+			t.Errorf("write: %v", r.Err)
+		}
+		done = true
+	})
+	eng.Run()
+	if !done {
+		t.Fatal("no completion")
+	}
+	r := readSync(eng, d, 0, 0, 2)
+	if string(r.OOB[0]) != "lbn=42,sn=7" || string(r.OOB[1]) != "lbn=43,sn=7" {
+		t.Fatalf("oob round trip: %q %q", r.OOB[0], r.OOB[1])
+	}
+}
+
+func TestChannelMappingRoundRobinByDefault(t *testing.T) {
+	_, d := newTestDev(t)
+	for z := 0; z < d.Zones(); z++ {
+		if d.TrueChannelOf(z) != z%d.NumChannels() {
+			t.Fatalf("zone %d not round-robin mapped", z)
+		}
+	}
+}
+
+func TestChannelMappingShuffle(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := TestConfig()
+	cfg.ShuffleFraction = 0.5
+	cfg.Seed = 99
+	d, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deviations := 0
+	for z := 0; z < d.Zones(); z++ {
+		if d.TrueChannelOf(z) != z%d.NumChannels() {
+			deviations++
+		}
+	}
+	// Half the zones get a random channel; ~1/4 of those land back on the
+	// round-robin slot by chance, so expect roughly 3/8 deviating.
+	if deviations < d.Zones()/8 || deviations > d.Zones()*5/8 {
+		t.Fatalf("deviations = %d of %d, want roughly 3/8", deviations, d.Zones())
+	}
+	// Determinism: same seed, same mapping.
+	d2, _ := New(sim.NewEngine(), cfg)
+	for z := 0; z < d.Zones(); z++ {
+		if d.TrueChannelOf(z) != d2.TrueChannelOf(z) {
+			t.Fatal("shuffled mapping not deterministic")
+		}
+	}
+}
+
+func TestOfflineZoneRejectsIO(t *testing.T) {
+	eng, d := newTestDev(t)
+	if err := d.SetOffline(3); err != nil {
+		t.Fatal(err)
+	}
+	if r := writeSync(eng, d, 3, 0, 1, nil, TagUserData); !errors.Is(r.Err, ErrZoneOffline) {
+		t.Fatalf("write to offline err = %v", r.Err)
+	}
+	if r := readSync(eng, d, 3, 0, 1); !errors.Is(r.Err, ErrZoneOffline) {
+		t.Fatalf("read of offline err = %v", r.Err)
+	}
+}
+
+func TestBadZoneAndRange(t *testing.T) {
+	eng, d := newTestDev(t)
+	if r := writeSync(eng, d, -1, 0, 1, nil, TagUserData); !errors.Is(r.Err, ErrBadZone) {
+		t.Fatalf("bad zone err = %v", r.Err)
+	}
+	if r := writeSync(eng, d, 999, 0, 1, nil, TagUserData); !errors.Is(r.Err, ErrBadZone) {
+		t.Fatalf("bad zone err = %v", r.Err)
+	}
+	if r := readSync(eng, d, 0, d.Config().ZoneBlocks, 1); !errors.Is(r.Err, ErrBadRange) {
+		t.Fatalf("range err = %v", r.Err)
+	}
+}
+
+func TestCloseAndReopen(t *testing.T) {
+	eng, d := newTestDev(t)
+	writeSync(eng, d, 0, 0, 4, block(5, 4*4096), TagUserData)
+	if err := d.Close(0); err != nil {
+		t.Fatal(err)
+	}
+	if d.OpenZones() != 0 {
+		t.Fatal("close did not release slot")
+	}
+	// Write to closed zone implicitly reopens at wp.
+	if r := writeSync(eng, d, 0, 4, 1, nil, TagUserData); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if d.OpenZones() != 1 {
+		t.Fatal("implicit reopen did not take a slot")
+	}
+	r := readSync(eng, d, 0, 0, 4)
+	if !bytes.Equal(r.Data, block(5, 4*4096)) {
+		t.Fatal("closed zone content lost")
+	}
+}
+
+func TestZRWACloseCommitsBuffer(t *testing.T) {
+	eng, d := newTestDev(t)
+	if err := d.Open(0, true); err != nil {
+		t.Fatal(err)
+	}
+	writeSync(eng, d, 0, 0, 3, block(8, 3*4096), TagUserData)
+	if err := d.Close(0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got := d.Stats().TotalProgrammed(); got != 3*4096 {
+		t.Fatalf("programmed after close = %d", got)
+	}
+}
+
+// --- Performance-shape tests: the simulator must reproduce the paper's
+// preliminary-study observations. ---
+
+// TestSingleZonePeakBandwidth checks that a deeply queued single zone
+// saturates near the channel write bandwidth (Table 3 scenario 1).
+func TestSingleZonePeakBandwidth(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := ZN540(64)
+	cfg.StoreData = false
+	d, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Open(0, true); err != nil {
+		t.Fatal(err)
+	}
+	const depth = 32
+	const blocksPerWrite = 16 // 64 KiB
+	var next int64
+	var doneBytes int64
+	var submit func()
+	submit = func() {
+		lba := next
+		next += blocksPerWrite
+		if lba+blocksPerWrite > cfg.ZoneBlocks {
+			return
+		}
+		d.Write(0, lba, blocksPerWrite, nil, nil, TagUserData, func(r WriteResult) {
+			if r.Err != nil {
+				t.Errorf("write at %d: %v", lba, r.Err)
+				return
+			}
+			doneBytes += blocksPerWrite * 4096
+			submit()
+		})
+	}
+	for i := 0; i < depth; i++ {
+		submit()
+	}
+	eng.RunUntil(200 * sim.Millisecond)
+	mbps := float64(doneBytes) / 1e6 / 0.2
+	if mbps < 900 || mbps > 1200 {
+		t.Fatalf("single-zone depth-32 throughput = %.0f MB/s, want ~1092", mbps)
+	}
+}
+
+// TestIntraZoneDepth1Penalty checks that one in-flight write reaches well
+// under half of the zone bandwidth (Fig. 5: 34.7%-45.5% retained).
+func TestIntraZoneDepth1Penalty(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := ZN540(64)
+	cfg.StoreData = false
+	d, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Open(0, true); err != nil {
+		t.Fatal(err)
+	}
+	const blocksPerWrite = 16
+	var next int64
+	var doneBytes int64
+	var submit func()
+	submit = func() {
+		lba := next
+		next += blocksPerWrite
+		if lba+blocksPerWrite > cfg.ZoneBlocks {
+			return
+		}
+		d.Write(0, lba, blocksPerWrite, nil, nil, TagUserData, func(r WriteResult) {
+			if r.Err != nil {
+				t.Errorf("write: %v", r.Err)
+				return
+			}
+			doneBytes += blocksPerWrite * 4096
+			submit()
+		})
+	}
+	submit()
+	eng.RunUntil(200 * sim.Millisecond)
+	mbps := float64(doneBytes) / 1e6 / 0.2
+	frac := mbps / 1092
+	if frac < 0.20 || frac > 0.60 {
+		t.Fatalf("depth-1 retention = %.2f of zone bw (%.0f MB/s), want 0.25-0.55", frac, mbps)
+	}
+}
+
+// TestTwoZonesSameVsDifferentChannel reproduces Table 3's contrast: zones
+// on one channel share its bandwidth; zones on different channels scale.
+func TestTwoZonesSameVsDifferentChannel(t *testing.T) {
+	run := func(zoneA, zoneB int) float64 {
+		eng := sim.NewEngine()
+		cfg := ZN540(64)
+		cfg.StoreData = false
+		d, err := New(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, z := range []int{zoneA, zoneB} {
+			if err := d.Open(z, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var doneBytes int64
+		const blocksPerWrite = 16
+		for _, z := range []int{zoneA, zoneB} {
+			z := z
+			next := map[int]*int64{zoneA: new(int64), zoneB: new(int64)}[z]
+			var submit func()
+			submit = func() {
+				lba := *next
+				*next += blocksPerWrite
+				if lba+blocksPerWrite > cfg.ZoneBlocks {
+					return
+				}
+				d.Write(z, lba, blocksPerWrite, nil, nil, TagUserData, func(r WriteResult) {
+					if r.Err != nil {
+						return
+					}
+					doneBytes += blocksPerWrite * 4096
+					submit()
+				})
+			}
+			for i := 0; i < 16; i++ {
+				submit()
+			}
+		}
+		eng.RunUntil(200 * sim.Millisecond)
+		return float64(doneBytes) / 1e6 / 0.2
+	}
+	// Zones 0 and 8 share channel 0 (round-robin, 8 channels); zones 0 and
+	// 1 are on different channels.
+	same := run(0, 8)
+	diff := run(0, 1)
+	if same > 1300 {
+		t.Fatalf("same-channel pair = %.0f MB/s, want ~1092 (no scaling)", same)
+	}
+	if diff < 1800 {
+		t.Fatalf("diff-channel pair = %.0f MB/s, want ~2170 (2x scaling)", diff)
+	}
+	if diff < same*1.6 {
+		t.Fatalf("channel separation speedup only %.2fx", diff/same)
+	}
+}
+
+// TestDeviceWriteLinkCap checks aggregate writes cannot exceed the device
+// link (2170 MB/s for ZN540) no matter how many channels run.
+func TestDeviceWriteLinkCap(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := ZN540(64)
+	cfg.StoreData = false
+	d, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneBytes int64
+	const blocksPerWrite = 16
+	for z := 0; z < 8; z++ {
+		z := z
+		if err := d.Open(z, true); err != nil {
+			t.Fatal(err)
+		}
+		next := new(int64)
+		var submit func()
+		submit = func() {
+			lba := *next
+			*next += blocksPerWrite
+			if lba+blocksPerWrite > cfg.ZoneBlocks {
+				return
+			}
+			d.Write(z, lba, blocksPerWrite, nil, nil, TagUserData, func(r WriteResult) {
+				if r.Err != nil {
+					return
+				}
+				doneBytes += blocksPerWrite * 4096
+				submit()
+			})
+		}
+		for i := 0; i < 8; i++ {
+			submit()
+		}
+	}
+	eng.RunUntil(200 * sim.Millisecond)
+	mbps := float64(doneBytes) / 1e6 / 0.2
+	if mbps > 2400 {
+		t.Fatalf("aggregate = %.0f MB/s exceeds device link 2170", mbps)
+	}
+	if mbps < 1900 {
+		t.Fatalf("aggregate = %.0f MB/s, want ~2170", mbps)
+	}
+}
+
+// TestGCInterferenceOnSharedChannel verifies that flash traffic on a
+// zone's channel inflates same-channel write latency (the §3.3 effect
+// behind BIZA's GC avoidance).
+func TestGCInterferenceOnSharedChannel(t *testing.T) {
+	lat := func(gcOnSameChannel bool) float64 {
+		eng := sim.NewEngine()
+		cfg := ZN540(64)
+		cfg.StoreData = false
+		d, err := New(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		user, gc := 0, 1 // different channels
+		if gcOnSameChannel {
+			gc = 8 // same channel as zone 0
+		}
+		if err := d.Open(user, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Open(gc, true); err != nil {
+			t.Fatal(err)
+		}
+		// Background "GC" stream hammers the gc zone.
+		gcNext := new(int64)
+		var gcSubmit func()
+		gcSubmit = func() {
+			lba := *gcNext
+			*gcNext += 16
+			if lba+16 > cfg.ZoneBlocks {
+				return
+			}
+			d.Write(gc, lba, 16, nil, nil, TagGCData, func(r WriteResult) { gcSubmit() })
+		}
+		for i := 0; i < 16; i++ {
+			gcSubmit()
+		}
+		// Foreground user writes, depth 1, measure latency.
+		var total sim.Time
+		var count int
+		uNext := new(int64)
+		var uSubmit func()
+		uSubmit = func() {
+			lba := *uNext
+			*uNext += 16
+			if lba+16 > cfg.ZoneBlocks {
+				return
+			}
+			d.Write(user, lba, 16, nil, nil, TagUserData, func(r WriteResult) {
+				total += r.Latency
+				count++
+				uSubmit()
+			})
+		}
+		uSubmit()
+		eng.RunUntil(100 * sim.Millisecond)
+		return float64(total) / float64(count)
+	}
+	isolated := lat(false)
+	interfered := lat(true)
+	if interfered < isolated*1.5 {
+		t.Fatalf("same-channel GC interference too small: %.0fns vs %.0fns", interfered, isolated)
+	}
+}
+
+func TestMultiBlockZRWAWrite(t *testing.T) {
+	eng, d := newTestDev(t)
+	if err := d.Open(0, true); err != nil {
+		t.Fatal(err)
+	}
+	// A multi-block write filling most of the window, then an overlapping
+	// in-window rewrite of its middle.
+	if r := writeSync(eng, d, 0, 0, 12, block(1, 12*4096), TagUserData); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r := writeSync(eng, d, 0, 4, 4, block(99, 4*4096), TagUserData); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	r := readSync(eng, d, 0, 0, 12)
+	want := block(1, 12*4096)
+	copy(want[4*4096:8*4096], block(99, 4*4096))
+	if !bytes.Equal(r.Data, want) {
+		t.Fatal("overlapping in-window rewrite wrong")
+	}
+	if d.Stats().AbsorbedBytes != 4*4096 {
+		t.Fatalf("absorbed = %d", d.Stats().AbsorbedBytes)
+	}
+}
+
+func TestReadSpanningBufferAndFlash(t *testing.T) {
+	eng, d := newTestDev(t)
+	if err := d.Open(0, true); err != nil {
+		t.Fatal(err)
+	}
+	cfg := d.Config()
+	// Fill two windows' worth so the first window is flushed to flash
+	// while the second stays buffered.
+	n := int(cfg.ZRWABlocks)
+	writeSync(eng, d, 0, 0, n, block(1, n*4096), TagUserData)
+	writeSync(eng, d, 0, int64(n), n, block(2, n*4096), TagUserData)
+	eng.Run()
+	// Read across the boundary: half flash, half buffer.
+	r := readSync(eng, d, 0, int64(n/2), n)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	want := append(block(1, n*4096)[n/2*4096:], block(2, n*4096)[:n/2*4096]...)
+	if !bytes.Equal(r.Data, want) {
+		t.Fatal("mixed buffer/flash read wrong")
+	}
+}
+
+func TestAppendAfterFinishFails(t *testing.T) {
+	eng, d := newTestDev(t)
+	writeSync(eng, d, 5, 0, 1, nil, TagUserData)
+	if err := d.Finish(5); err != nil {
+		t.Fatal(err)
+	}
+	var got error
+	d.Append(5, 1, nil, nil, TagUserData, func(r AppendResult) { got = r.Err })
+	eng.Run()
+	if !errors.Is(got, ErrZoneFull) {
+		t.Fatalf("append after finish: %v", got)
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	eng, d := newTestDev(t)
+	writeSync(eng, d, 1, 0, 1, nil, TagUserData)
+	if err := d.Finish(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Finish(1); err != nil {
+		t.Fatalf("second finish: %v", err)
+	}
+}
+
+func TestActiveZoneLimitWithFullZones(t *testing.T) {
+	// Regression for the active-zone accounting bug: FULL zones must not
+	// count against the active limit, so many more zones than MaxActive
+	// can be filled over a device's life.
+	eng := sim.NewEngine()
+	cfg := TestConfig()
+	cfg.MaxOpenZones = 2
+	cfg.MaxActiveZone = 4
+	d, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := 0; z < 12; z++ {
+		var lba int64
+		for lba < cfg.ZoneBlocks {
+			if r := writeSync(eng, d, z, lba, 16, nil, TagUserData); r.Err != nil {
+				t.Fatalf("zone %d lba %d: %v", z, lba, r.Err)
+			}
+			lba += 16
+		}
+	}
+	if d.OpenZones() != 0 {
+		t.Fatalf("open zones = %d", d.OpenZones())
+	}
+}
+
+func TestChannelUtilizationTelemetry(t *testing.T) {
+	eng, d := newTestDev(t)
+	// Hammer zone 0 (channel 0); channel 1 stays idle.
+	for lba := int64(0); lba+16 <= d.Config().ZoneBlocks; lba += 16 {
+		writeSync(eng, d, 0, lba, 16, nil, TagUserData)
+	}
+	eng.Run()
+	elapsed := eng.Now()
+	if u := d.ChannelUtilization(0, elapsed); u <= 0 {
+		t.Fatalf("channel 0 utilization = %v", u)
+	}
+	if u := d.ChannelUtilization(1, elapsed); u != 0 {
+		t.Fatalf("idle channel utilization = %v", u)
+	}
+	if u := d.ChannelUtilization(-1, elapsed); u != 0 {
+		t.Fatal("bad channel index not guarded")
+	}
+}
+
+func TestReportZones(t *testing.T) {
+	eng, d := newTestDev(t)
+	writeSync(eng, d, 0, 0, 4, nil, TagUserData)
+	d.Open(3, true)
+	infos := d.ReportZones()
+	if len(infos) != d.Zones() {
+		t.Fatalf("report length %d", len(infos))
+	}
+	if infos[0].WritePtr != 4 || infos[0].State != ZoneImplicitOpen {
+		t.Fatalf("zone0 info %+v", infos[0])
+	}
+	if !infos[3].ZRWA || infos[3].State != ZoneExplicitOpen {
+		t.Fatalf("zone3 info %+v", infos[3])
+	}
+}
+
+func TestOpenReportChannelExposure(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := TestConfig()
+	cfg.ShuffleFraction = 0.5
+	cfg.Seed = 77
+	// Opaque device: channel reported as -1.
+	d1, _ := New(eng, cfg)
+	ch, err := d1.OpenReport(0, true)
+	if err != nil || ch != -1 {
+		t.Fatalf("opaque OpenReport = %d, %v", ch, err)
+	}
+	// Future-ZNS device: the OPEN completion carries the true channel.
+	cfg.ExposeChannelOnOpen = true
+	d2, _ := New(eng, cfg)
+	for z := 0; z < 6; z++ {
+		ch, err := d2.OpenReport(z, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch != d2.TrueChannelOf(z) {
+			t.Fatalf("zone %d reported channel %d, true %d", z, ch, d2.TrueChannelOf(z))
+		}
+	}
+	// Failed opens propagate the error, not a channel.
+	if _, err := d2.OpenReport(999, true); err == nil {
+		t.Fatal("bad zone accepted")
+	}
+}

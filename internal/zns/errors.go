@@ -1,0 +1,45 @@
+package zns
+
+import "errors"
+
+// Command errors. These correspond to NVMe ZNS status codes; engines branch
+// on them, so they are sentinel values.
+var (
+	// ErrNotSequential reports a write to a non-ZRWA zone that does not
+	// start exactly at the write pointer (Zone Invalid Write).
+	ErrNotSequential = errors.New("zns: write not at write pointer")
+
+	// ErrOutOfWindow reports a ZRWA write behind the committed boundary:
+	// the destination has already been flushed and is immutable.
+	ErrOutOfWindow = errors.New("zns: write behind ZRWA window")
+
+	// ErrZoneFull reports a write to a full zone or beyond zone capacity.
+	ErrZoneFull = errors.New("zns: zone is full")
+
+	// ErrTooManyOpen reports an open that would exceed the device's
+	// max-open-zones resource limit.
+	ErrTooManyOpen = errors.New("zns: too many open zones")
+
+	// ErrZoneOffline reports access to a dead zone.
+	ErrZoneOffline = errors.New("zns: zone offline")
+
+	// ErrReadOnly reports a write to a read-only zone.
+	ErrReadOnly = errors.New("zns: zone read-only")
+
+	// ErrAppendWithZRWA reports an APPEND to a zone opened with ZRWA; the
+	// NVMe specification makes the two mutually exclusive (§3.2).
+	ErrAppendWithZRWA = errors.New("zns: append to zone opened with ZRWA")
+
+	// ErrZRWANotSupported reports a ZRWA open on a device without ZRWA.
+	ErrZRWANotSupported = errors.New("zns: device does not support ZRWA")
+
+	// ErrBadZone reports a zone index out of range.
+	ErrBadZone = errors.New("zns: zone index out of range")
+
+	// ErrBadRange reports a block range outside the zone.
+	ErrBadRange = errors.New("zns: block range out of zone bounds")
+
+	// ErrWrongState reports a state-machine violation (e.g. commit on an
+	// empty zone).
+	ErrWrongState = errors.New("zns: invalid zone state for command")
+)
