@@ -35,13 +35,13 @@ func cell(b *testing.B, s string) float64 {
 
 func runExp(b *testing.B, id string) []*bench.Table {
 	b.Helper()
-	fn, ok := bench.Experiments[id]
+	e, ok := bench.Experiments[id]
 	if !ok {
 		b.Fatalf("experiment %s not registered", id)
 	}
 	var tabs []*bench.Table
 	for i := 0; i < b.N; i++ {
-		tabs = fn(benchScale())
+		tabs = e.Tables(benchScale(), bench.NewRun(bench.DefaultSeed, id))
 	}
 	return tabs
 }

@@ -9,8 +9,16 @@ import (
 )
 
 func init() {
-	register("fig13a", Fig13Filebench)
-	register("fig13b", Fig13DBBench)
+	registerPoints("fig13a", personalityNames(), fig13aPoint)
+	registerPoints("fig13b", []string{"fillseq", "fillrandom", "fillseekseq"}, fig13bPoint)
+}
+
+func personalityNames() []string {
+	out := make([]string, len(lsfs.Personalities))
+	for i := range lsfs.Personalities {
+		out[i] = lsfs.Personalities[i].Name
+	}
+	return out
 }
 
 // appKinds are the platforms compared under real applications. The paper's
@@ -21,8 +29,8 @@ func init() {
 var appKinds = []stack.Kind{stack.KindBIZA, stack.KindDmzapRAIZN,
 	stack.KindMdraidDmzap, stack.KindMdraidConvSSD}
 
-func newAppFS(kind stack.Kind) (*stack.Platform, *lsfs.FS, error) {
-	p, err := stack.New(kind, stack.Options{Seed: 77})
+func newAppFS(r *Run, kind stack.Kind, stream string) (*stack.Platform, *lsfs.FS, error) {
+	p, err := r.Platform(kind, stack.Options{Seed: r.Seed(stream + "/stack")})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -34,77 +42,85 @@ func newAppFS(kind stack.Kind) (*stack.Platform, *lsfs.FS, error) {
 	return p, fs, nil
 }
 
-// Fig13Filebench reproduces Fig. 13a: filebench personalities on the
-// log-structured filesystem over each platform, ops/s normalized to the
-// RAIZN-based baseline.
-func Fig13Filebench(s Scale) *Table {
+// fig13aPoint runs one filebench personality on the log-structured
+// filesystem over each platform, ops/s normalized to the RAIZN-based
+// baseline.
+func fig13aPoint(s Scale, r *Run, point string) []*Table {
 	t := &Table{ID: "fig13a", Title: "F2FS-like filesystem + filebench (ops/s, x = vs dmzap+RAIZN)",
 		Header: []string{"workload", "BIZA", "dmzap+RAIZN", "mdraid+dmzap", "mdraid+ConvSSD", "BIZA_x"}}
 	ops := s.TraceOps / 4
 	if ops < 300 {
 		ops = 300
 	}
-	for _, pers := range lsfs.Personalities {
-		row := []string{pers.Name}
-		var rates []float64
-		for _, kind := range appKinds {
-			p, fs, err := newAppFS(kind)
-			if err != nil {
-				panic(err)
-			}
-			res, err := pers.Run(p.Eng, fs, 16, ops, 5)
-			if err != nil {
-				panic(fmt.Sprintf("%s on %s: %v", pers.Name, kind, err))
-			}
-			rates = append(rates, res.OpsPerSec())
-			row = append(row, f1(res.OpsPerSec()))
+	pers := lsfs.PersonalityByName(point)
+	row := []string{pers.Name}
+	var rates []float64
+	for _, kind := range appKinds {
+		cell := pers.Name + "/" + string(kind)
+		p, fs, err := newAppFS(r, kind, cell)
+		if err != nil {
+			panic(err)
 		}
-		x := 0.0
-		if rates[1] > 0 {
-			x = rates[0] / rates[1]
+		res, err := pers.Run(p.Eng, fs, 16, ops, r.Seed(cell+"/wl"))
+		if err != nil {
+			panic(fmt.Sprintf("%s on %s: %v", pers.Name, kind, err))
 		}
-		row = append(row, f2(x))
-		t.Add(row...)
+		rates = append(rates, res.OpsPerSec())
+		row = append(row, f1(res.OpsPerSec()))
 	}
-	return t
+	x := 0.0
+	if rates[1] > 0 {
+		x = rates[0] / rates[1]
+	}
+	row = append(row, f2(x))
+	t.Add(row...)
+	return []*Table{t}
 }
 
-// Fig13DBBench reproduces Fig. 13b: LSM key-value store (db_bench fill
-// workloads, 16 B keys / 1 KiB values) on the filesystem over each
-// platform.
-func Fig13DBBench(s Scale) *Table {
+// Fig13Filebench reproduces Fig. 13a in full (all personalities).
+func Fig13Filebench(s Scale, r *Run) *Table {
+	return Experiments["fig13a"].Tables(s, r)[0]
+}
+
+// fig13bPoint runs one db_bench fill workload (16 B keys / 1 KiB values)
+// of the LSM key-value store on the filesystem over each platform.
+func fig13bPoint(s Scale, r *Run, point string) []*Table {
 	t := &Table{ID: "fig13b", Title: "LSM KV store + db_bench (ops/s, x = vs dmzap+RAIZN)",
 		Header: []string{"workload", "BIZA", "dmzap+RAIZN", "mdraid+dmzap", "mdraid+ConvSSD", "BIZA_x"}}
 	ops := s.TraceOps / 4
 	if ops < 300 {
 		ops = 300
 	}
-	for _, name := range []string{"fillseq", "fillrandom", "fillseekseq"} {
-		row := []string{name}
-		var rates []float64
-		for _, kind := range appKinds {
-			p, fs, err := newAppFS(kind)
-			if err != nil {
-				panic(err)
-			}
-			db, err := kvstore.Open(p.Eng, fs, kvstore.DefaultConfig())
-			if err != nil {
-				panic(err)
-			}
-			spec, err := kvstore.DefaultBench(name, ops)
-			if err != nil {
-				panic(err)
-			}
-			res := kvstore.RunBench(p.Eng, db, spec)
-			rates = append(rates, res.OpsPerSec())
-			row = append(row, f1(res.OpsPerSec()))
+	row := []string{point}
+	var rates []float64
+	for _, kind := range appKinds {
+		cell := point + "/" + string(kind)
+		p, fs, err := newAppFS(r, kind, cell)
+		if err != nil {
+			panic(err)
 		}
-		x := 0.0
-		if rates[1] > 0 {
-			x = rates[0] / rates[1]
+		db, err := kvstore.Open(p.Eng, fs, kvstore.DefaultConfig())
+		if err != nil {
+			panic(err)
 		}
-		row = append(row, f2(x))
-		t.Add(row...)
+		spec, err := kvstore.DefaultBench(point, ops)
+		if err != nil {
+			panic(err)
+		}
+		res := kvstore.RunBench(p.Eng, db, spec)
+		rates = append(rates, res.OpsPerSec())
+		row = append(row, f1(res.OpsPerSec()))
 	}
-	return t
+	x := 0.0
+	if rates[1] > 0 {
+		x = rates[0] / rates[1]
+	}
+	row = append(row, f2(x))
+	t.Add(row...)
+	return []*Table{t}
+}
+
+// Fig13DBBench reproduces Fig. 13b in full (all fill workloads).
+func Fig13DBBench(s Scale, r *Run) *Table {
+	return Experiments["fig13b"].Tables(s, r)[0]
 }

@@ -3,14 +3,23 @@
 // the paper plots; absolute values come from the simulated substrate, so
 // the comparisons (who wins, by what factor) are the reproduction target,
 // not the raw numbers.
+//
+// Experiments register as a set of independently runnable config points
+// (one platform, one workload, one sweep value, ...). The Runner executes
+// points from any mix of experiments across a worker pool; every
+// stochastic stream derives its seed from (base seed, experiment id,
+// stream label) via sim.DeriveSeed, so output is bit-identical regardless
+// of scheduling order or worker count.
 package bench
 
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"biza/internal/metrics"
 	"biza/internal/sim"
+	"biza/internal/stack"
 )
 
 // Scale controls experiment cost. Default matches the committed results;
@@ -31,12 +40,52 @@ func QuickScale() Scale {
 	return Scale{Duration: 4 * sim.Millisecond, TraceOps: 4000, Warmup: 1 << 20}
 }
 
+// DefaultSeed is the base seed of the committed EXPERIMENTS.md run.
+const DefaultSeed uint64 = 1
+
+// Run is the per-execution context handed to every experiment point. It
+// carries the base seed and experiment id from which all RNG streams
+// derive, and (when driven by the Runner) the virtual-time accumulator
+// that credits simulated nanoseconds to the experiment's accounting.
+type Run struct {
+	base uint64
+	exp  string
+	vt   *atomic.Int64 // optional virtual-time sink (Runner accounting)
+}
+
+// NewRun returns a run context for one experiment. Tests and direct
+// callers get the same values the Runner produces for (seed, exp).
+func NewRun(seed uint64, exp string) *Run { return &Run{base: seed, exp: exp} }
+
+// Seed derives the deterministic seed for a named stochastic stream.
+// Streams are identified by label only — never by execution order — so a
+// point sharded off to another worker draws exactly the same numbers.
+func (r *Run) Seed(stream string) uint64 { return sim.DeriveSeed(r.base, r.exp, stream) }
+
+// NewEngine returns a simulation engine whose virtual-time advancement is
+// credited to this run's accounting.
+func (r *Run) NewEngine() *sim.Engine {
+	eng := sim.NewEngine()
+	if r.vt != nil {
+		eng.SetTimeSink(r.vt)
+	}
+	return eng
+}
+
+// Platform assembles a stack platform on a tracked engine.
+func (r *Run) Platform(kind stack.Kind, opts stack.Options) (*stack.Platform, error) {
+	return stack.NewOn(r.NewEngine(), kind, opts)
+}
+
 // Table is one regenerated artifact.
 type Table struct {
-	ID     string // experiment id (fig10, table3, ...)
-	Title  string
-	Header []string
-	Rows   [][]string
+	ID    string `json:"id"` // experiment id (fig10a, table3, ...)
+	Title string `json:"title"`
+	// LabelCols is the number of leading identity columns (defaults to 1);
+	// the rest are metric columns for Samples extraction.
+	LabelCols int        `json:"label_cols,omitempty"`
+	Header    []string   `json:"header"`
+	Rows      [][]string `json:"rows"`
 }
 
 // Add appends a row of stringified cells.
@@ -79,16 +128,77 @@ func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
 
 func us(t sim.Time) string { return fmt.Sprintf("%.1f", float64(t)/1000) }
 
-// Experiments maps experiment ids to their runners (fig13a/fig13b are in
-// apps.go; everything shares this registry for the CLI and benchmarks).
-var Experiments = map[string]func(Scale) []*Table{}
-
-func register(id string, fn func(Scale) *Table) {
-	Experiments[id] = func(s Scale) []*Table { return []*Table{fn(s)} }
+// Experiment is one registered paper artifact, decomposed into the config
+// points that can run independently (and therefore in parallel).
+type Experiment struct {
+	ID string
+	// Points lists the independently runnable shards in canonical row
+	// order. Experiments with internal cross-point dependencies (e.g.
+	// fig15's normalization baseline) expose a single point.
+	Points []string
+	// RunPoint executes one point and returns its partial tables. Every
+	// point must return the same table set (ids, titles, headers) so
+	// Assemble can merge them.
+	RunPoint func(s Scale, r *Run, point string) []*Table
+	// Assemble merges per-point partial tables, given in Points order.
+	// Nil selects the default merge: concatenate rows table-wise.
+	Assemble func(parts [][]*Table) []*Table
 }
 
-func registerMulti(id string, fn func(Scale) []*Table) {
-	Experiments[id] = fn
+func (e *Experiment) assemble(parts [][]*Table) []*Table {
+	if e.Assemble != nil {
+		return e.Assemble(parts)
+	}
+	return mergeParts(parts)
+}
+
+// Tables runs every point sequentially on r and assembles the result —
+// the single-threaded reference path the parallel Runner must match
+// bit-for-bit.
+func (e *Experiment) Tables(s Scale, r *Run) []*Table {
+	parts := make([][]*Table, len(e.Points))
+	for i, pt := range e.Points {
+		parts[i] = e.RunPoint(s, r, pt)
+	}
+	return e.assemble(parts)
+}
+
+// mergeParts concatenates partial tables index-wise: the first part
+// supplies each table's identity (id, title, header); subsequent parts
+// contribute rows in point order.
+func mergeParts(parts [][]*Table) []*Table {
+	var out []*Table
+	for _, part := range parts {
+		for ti, pt := range part {
+			if ti == len(out) {
+				out = append(out, &Table{ID: pt.ID, Title: pt.Title,
+					LabelCols: pt.LabelCols, Header: pt.Header})
+			}
+			out[ti].Rows = append(out[ti].Rows, pt.Rows...)
+		}
+	}
+	return out
+}
+
+// Experiments maps experiment ids to their registrations (shared by the
+// CLI, the Runner, and the root benchmarks).
+var Experiments = map[string]*Experiment{}
+
+// register adds a single-point, single-table experiment.
+func register(id string, fn func(Scale, *Run) *Table) {
+	Experiments[id] = &Experiment{ID: id, Points: []string{""},
+		RunPoint: func(s Scale, r *Run, _ string) []*Table { return []*Table{fn(s, r)} }}
+}
+
+// registerMulti adds a single-point experiment emitting several tables.
+func registerMulti(id string, fn func(Scale, *Run) []*Table) {
+	Experiments[id] = &Experiment{ID: id, Points: []string{""},
+		RunPoint: func(s Scale, r *Run, _ string) []*Table { return fn(s, r) }}
+}
+
+// registerPoints adds an experiment whose config points run independently.
+func registerPoints(id string, points []string, fn func(Scale, *Run, string) []*Table) {
+	Experiments[id] = &Experiment{ID: id, Points: points, RunPoint: fn}
 }
 
 // IDs returns the registered experiment ids in canonical order.

@@ -19,8 +19,12 @@ func parse(t *testing.T, cell string) float64 {
 	return v
 }
 
+// testRun returns the run context the Runner would hand experiment exp at
+// the default seed, so direct calls reproduce registry results.
+func testRun(exp string) *Run { return NewRun(DefaultSeed, exp) }
+
 func TestTable2MatchesPaper(t *testing.T) {
-	tab := Table2Presets(QuickScale())
+	tab := Table2Presets(QuickScale(), testRun("table2"))
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -32,7 +36,7 @@ func TestTable2MatchesPaper(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
-	tab := Table3ZonePlacement(QuickScale())
+	tab := Table3ZonePlacement(QuickScale(), testRun("table3"))
 	single := parse(t, tab.Rows[0][1])
 	same := parse(t, tab.Rows[1][1])
 	diverse := parse(t, tab.Rows[2][1])
@@ -51,7 +55,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	tab := Fig5IntraZone(QuickScale())
+	tab := Fig5IntraZone(QuickScale(), testRun("fig5"))
 	for _, r := range tab.Rows {
 		d1, d32 := parse(t, r[1]), parse(t, r[2])
 		if d1 >= d32 {
@@ -65,7 +69,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	tabs := Fig10Write(QuickScale())
+	tabs := Fig10Write(QuickScale(), testRun("fig10"))
 	tput := tabs[0]
 	// Row order: BIZA, dmzap+RAIZN, mdraid+dmzap, mdraid+ConvSSD, RAIZN.
 	col := 2 // seq64K
@@ -85,7 +89,7 @@ func TestFig10Shape(t *testing.T) {
 func TestFig14Shape(t *testing.T) {
 	s := QuickScale()
 	s.TraceOps = 8000
-	tab := Fig14WriteAmp(s)
+	tab := Fig14WriteAmp(s, testRun("fig14"))
 	// On casa (hot workload) BIZA must beat BIZAw/oSelector and the
 	// dmzap+RAIZN adapter, and land between ideal and nocache. (The
 	// mdraid comparison is scale-sensitive — its volatile stripe cache
@@ -134,7 +138,7 @@ func TestTableRendering(t *testing.T) {
 func TestDetectAblationShape(t *testing.T) {
 	s := QuickScale()
 	s.TraceOps = 3000
-	tab := AblationChannelDetect(s)
+	tab := AblationChannelDetect(s, testRun("detect"))
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}

@@ -52,10 +52,12 @@ func dirtyForGC(p *stack.Platform, seed uint64) {
 // Fig15GCTail reproduces Fig. 15: p99 and p99.99 sequential-write latency
 // after GC starts, for throughput-sensitive (iodepth 32) and
 // latency-sensitive (iodepth 1) scenarios, normalized against BIZA with no
-// GC running.
-func Fig15GCTail(s Scale) *Table {
+// GC running. Single registry point: every row normalizes against the
+// BIZA(no GC) baseline measured in the same run.
+func Fig15GCTail(s Scale, r *Run) *Table {
 	t := &Table{ID: "fig15", Title: "tail latency after GC starts (us; x = vs BIZA no-GC)",
-		Header: []string{"platform", "depth", "size_KB", "p99_us", "p9999_us", "p9999_x"}}
+		LabelCols: 3,
+		Header:    []string{"platform", "depth", "size_KB", "p99_us", "p9999_us", "p9999_x"}}
 	type cfg struct {
 		kind  stack.Kind
 		gc    bool
@@ -72,17 +74,18 @@ func Fig15GCTail(s Scale) *Table {
 	for _, c := range cfgs {
 		for _, depth := range []int{32, 1} {
 			for _, sizeKB := range []int{4, 64, 192} {
-				p, err := stack.New(c.kind, gcOptions(23, !c.gc))
+				cell := fmt.Sprintf("%s/%d/%d", c.label, depth, sizeKB)
+				p, err := r.Platform(c.kind, gcOptions(r.Seed(cell+"/stack"), !c.gc))
 				if err != nil {
 					panic(err)
 				}
 				if c.gc {
-					dirtyForGC(p, 31)
+					dirtyForGC(p, r.Seed(cell+"/dirty"))
 					// Keep invalidations flowing during the measurement so
 					// GC stays active throughout: an unmeasured, finite
 					// background stream over the churned span (finite so
 					// the event loop drains when both streams finish).
-					bg := sim.NewRNG(53)
+					bg := sim.NewRNG(r.Seed(cell + "/bg"))
 					span := p.Dev.Blocks() * 3 / 5
 					bgLeft := s.TraceOps
 					var bgIssue func()

@@ -12,18 +12,27 @@ import (
 func init() {
 	register("table6", Table6Workloads)
 	register("fig4", Fig4ReuseCDF)
-	register("fig12", Fig12TraceThroughput)
-	register("fig14", Fig14WriteAmp)
-	register("fig16", Fig16ZRWASweep)
+	registerPoints("fig12", profileNames(), fig12Point)
+	registerPoints("fig14", profileNames(), fig14Point)
+	registerPoints("fig16", []string{"4", "16", "64", "256", "1024"}, fig16Point)
+}
+
+// profileNames lists the Table 6 trace workloads in row order.
+func profileNames() []string {
+	out := make([]string, len(workload.Profiles))
+	for i := range workload.Profiles {
+		out[i] = workload.Profiles[i].Name
+	}
+	return out
 }
 
 // Table6Workloads reproduces Table 6: characteristics of the synthesized
 // trace workloads.
-func Table6Workloads(s Scale) *Table {
+func Table6Workloads(s Scale, r *Run) *Table {
 	t := &Table{ID: "table6", Title: "workload characteristics",
 		Header: []string{"workload", "write_ratio_%", "avg_read_KB", "avg_write_KB", "beyond56MB_%"}}
 	for _, p := range workload.Profiles {
-		tr := p.Synthesize(11, s.TraceOps)
+		tr := p.Synthesize(r.Seed("trace/"+p.Name), s.TraceOps)
 		st := tr.Characterize()
 		t.Add(p.Name, f1(st.WriteRatio*100), f1(st.AvgReadBytes/1024),
 			f1(st.AvgWriteBytes/1024), f1(tr.FractionBeyond(56<<20)*100))
@@ -33,10 +42,10 @@ func Table6Workloads(s Scale) *Table {
 
 // Fig4ReuseCDF reproduces Fig. 4: the cumulative distribution of write
 // reuse distances for the SYSTOR-like population.
-func Fig4ReuseCDF(s Scale) *Table {
+func Fig4ReuseCDF(s Scale, r *Run) *Table {
 	t := &Table{ID: "fig4", Title: "CDF of reuse distance (SYSTOR-like population)",
 		Header: []string{"threshold", "cdf"}}
-	tr := workload.SystorReusePopulation(13, s.TraceOps*3)
+	tr := workload.SystorReusePopulation(r.Seed("population"), s.TraceOps*3)
 	thresholds := []int64{1 << 20, 4 << 20, 14 << 20, 56 << 20, 128 << 20, 512 << 20, 2 << 30}
 	labels := []string{"1MB", "4MB", "14MB", "56MB", "128MB", "512MB", "2GB"}
 	cdf := tr.ReuseCDF(thresholds)
@@ -63,69 +72,77 @@ func preconditionFootprint(p *stack.Platform, tr *trace.Trace) {
 	p.ResetAccounting()
 }
 
-// Fig12TraceThroughput reproduces Fig. 12: throughput replaying the ten
-// production-like traces on each block platform (footprint preconditioned).
-func Fig12TraceThroughput(s Scale) *Table {
+// fig12Point replays one production-like trace on each block platform
+// (footprint preconditioned).
+func fig12Point(s Scale, r *Run, point string) []*Table {
 	t := &Table{ID: "fig12", Title: "throughput in I/O traces (MB/s)",
 		Header: []string{"workload", "BIZA", "dmzap+RAIZN", "mdraid+dmzap", "mdraid+ConvSSD"}}
-	for _, prof := range workload.Profiles {
-		row := []string{prof.Name}
-		tr := prof.Synthesize(21, s.TraceOps)
-		for _, kind := range traceKinds {
-			p, err := stack.New(kind, stack.Options{Seed: 5})
-			if err != nil {
-				panic(err)
-			}
-			preconditionFootprint(p, tr)
-			res := trace.Replay(p.Eng, p.Dev, tr, 32)
-			row = append(row, f1(res.Throughput().MBps()))
+	prof := workload.ProfileByName(point)
+	row := []string{prof.Name}
+	tr := prof.Synthesize(r.Seed("trace/"+prof.Name), s.TraceOps)
+	for _, kind := range traceKinds {
+		p, err := r.Platform(kind, stack.Options{Seed: r.Seed(prof.Name + "/" + string(kind) + "/stack")})
+		if err != nil {
+			panic(err)
 		}
-		t.Add(row...)
+		preconditionFootprint(p, tr)
+		res := trace.Replay(p.Eng, p.Dev, tr, 32)
+		row = append(row, f1(res.Throughput().MBps()))
 	}
-	return t
+	t.Add(row...)
+	return []*Table{t}
 }
 
-// Fig14WriteAmp reproduces Fig. 14: flash write counts normalized to user
-// writes, split into data and parity, across platforms and traces. The
+// Fig12TraceThroughput reproduces Fig. 12 in full (all ten traces).
+func Fig12TraceThroughput(s Scale, r *Run) *Table {
+	return Experiments["fig12"].Tables(s, r)[0]
+}
+
+// fig14Point measures one trace of Fig. 14: flash write counts normalized
+// to user writes, split into data and parity, across platforms. The
 // "no cache" and "ideal" reference bars are analytic bounds computed from
 // the trace itself.
-func Fig14WriteAmp(s Scale) *Table {
+func fig14Point(s Scale, r *Run, point string) []*Table {
 	t := &Table{ID: "fig14", Title: "write counts normalized to user writes (data+parity)",
 		Header: []string{"workload", "BIZA", "BIZAw/oSel", "dmzap+RAIZN", "mdraid+dmzap", "nocache", "ideal"}}
 	kinds := []stack.Kind{stack.KindBIZA, stack.KindBIZANoSel, stack.KindDmzapRAIZN, stack.KindMdraidDmzap}
-	for _, prof := range workload.Profiles {
-		tr := prof.Synthesize(31, s.TraceOps)
-		row := []string{prof.Name}
-		for _, kind := range kinds {
-			opts := stack.Options{Seed: 9}
-			if kind == stack.KindDmzapRAIZN {
-				// §5.4 equips RAIZN with the same 56 MB write buffer.
-				opts.RAIZNStripeCacheBytes = 56 << 20
-			}
-			p, err := stack.New(kind, opts)
-			if err != nil {
-				panic(err)
-			}
-			preconditionFootprint(p, tr)
-			// Commit write buffers and drain background work (mdraid
-			// timer flushes, GC) before reading the flash counters.
-			trace.Replay(p.Eng, p.Dev, tr, 32)
-			p.Flush()
-			wa := p.FlashWriteAmp()
-			row = append(row, fmt.Sprintf("%s(%s+%s)", f2(wa.Factor()), f2(wa.DataFactor()), f2(wa.ParityFactor())))
+	prof := workload.ProfileByName(point)
+	tr := prof.Synthesize(r.Seed("trace/"+prof.Name), s.TraceOps)
+	row := []string{prof.Name}
+	for _, kind := range kinds {
+		opts := stack.Options{Seed: r.Seed(prof.Name + "/" + string(kind) + "/stack")}
+		if kind == stack.KindDmzapRAIZN {
+			// §5.4 equips RAIZN with the same 56 MB write buffer.
+			opts.RAIZNStripeCacheBytes = 56 << 20
 		}
-		// Analytic references: nocache writes every chunk and a parity
-		// update per chunk; ideal writes only first-touches plus one final
-		// parity per k chunks of unique data.
-		st := tr.Characterize()
-		unique := float64(uniqueWriteBytes(tr)) / float64(st.WrittenBytes)
-		k := 3.0
-		row = append(row,
-			fmt.Sprintf("%s(%s+%s)", f2(2.0), f2(1.0), f2(1.0)),
-			fmt.Sprintf("%s(%s+%s)", f2(unique*(1+1/k)), f2(unique), f2(unique/k)))
-		t.Add(row...)
+		p, err := r.Platform(kind, opts)
+		if err != nil {
+			panic(err)
+		}
+		preconditionFootprint(p, tr)
+		// Commit write buffers and drain background work (mdraid
+		// timer flushes, GC) before reading the flash counters.
+		trace.Replay(p.Eng, p.Dev, tr, 32)
+		p.Flush()
+		wa := p.FlashWriteAmp()
+		row = append(row, fmt.Sprintf("%s(%s+%s)", f2(wa.Factor()), f2(wa.DataFactor()), f2(wa.ParityFactor())))
 	}
-	return t
+	// Analytic references: nocache writes every chunk and a parity
+	// update per chunk; ideal writes only first-touches plus one final
+	// parity per k chunks of unique data.
+	st := tr.Characterize()
+	unique := float64(uniqueWriteBytes(tr)) / float64(st.WrittenBytes)
+	k := 3.0
+	row = append(row,
+		fmt.Sprintf("%s(%s+%s)", f2(2.0), f2(1.0), f2(1.0)),
+		fmt.Sprintf("%s(%s+%s)", f2(unique*(1+1/k)), f2(unique), f2(unique/k)))
+	t.Add(row...)
+	return []*Table{t}
+}
+
+// Fig14WriteAmp reproduces Fig. 14 in full (all ten traces).
+func Fig14WriteAmp(s Scale, r *Run) *Table {
+	return Experiments["fig14"].Tables(s, r)[0]
 }
 
 func uniqueWriteBytes(tr *trace.Trace) uint64 {
@@ -145,30 +162,36 @@ func uniqueWriteBytes(tr *trace.Trace) uint64 {
 	return bytes
 }
 
-// Fig16ZRWASweep reproduces Fig. 16: normalized write counts as the ZRWA
-// size per open zone varies from 4 KiB to 1024 KiB, on casa and online.
-func Fig16ZRWASweep(s Scale) *Table {
+// fig16Point runs one ZRWA size of Fig. 16: normalized write counts as
+// the ZRWA size per open zone varies, on casa and online.
+func fig16Point(s Scale, r *Run, point string) []*Table {
 	t := &Table{ID: "fig16", Title: "write count vs ZRWA size (normalized to user writes)",
 		Header: []string{"zrwa_KB", "casa_data", "casa_parity", "online_data", "online_parity"}}
-	for _, zrwaKB := range []int{4, 16, 64, 256, 1024} {
-		row := []string{fmt.Sprintf("%d", zrwaKB)}
-		for _, name := range []string{"casa", "online"} {
-			prof := workload.ProfileByName(name)
-			tr := prof.Synthesize(41, s.TraceOps)
-			zcfg := stack.BenchZNS(128)
-			zcfg.ZRWABlocks = int64(zrwaKB) * 1024 / 4096
-			ccfg := core.DefaultConfig(zcfg.NumZones)
-			p, err := stack.New(stack.KindBIZA, stack.Options{ZNS: zcfg, BIZAConfig: &ccfg, Seed: 13})
-			if err != nil {
-				panic(err)
-			}
-			preconditionFootprint(p, tr)
-			trace.Replay(p.Eng, p.Dev, tr, 32)
-			p.Flush()
-			wa := p.FlashWriteAmp()
-			row = append(row, f3(wa.DataFactor()), f3(wa.ParityFactor()))
+	zrwaKB := atoiPoint(point)
+	row := []string{fmt.Sprintf("%d", zrwaKB)}
+	for _, name := range []string{"casa", "online"} {
+		prof := workload.ProfileByName(name)
+		tr := prof.Synthesize(r.Seed("trace/"+name), s.TraceOps)
+		zcfg := stack.BenchZNS(128)
+		zcfg.ZRWABlocks = int64(zrwaKB) * 1024 / 4096
+		ccfg := core.DefaultConfig(zcfg.NumZones)
+		cell := fmt.Sprintf("%d/%s", zrwaKB, name)
+		p, err := r.Platform(stack.KindBIZA, stack.Options{ZNS: zcfg, BIZAConfig: &ccfg,
+			Seed: r.Seed(cell + "/stack")})
+		if err != nil {
+			panic(err)
 		}
-		t.Add(row...)
+		preconditionFootprint(p, tr)
+		trace.Replay(p.Eng, p.Dev, tr, 32)
+		p.Flush()
+		wa := p.FlashWriteAmp()
+		row = append(row, f3(wa.DataFactor()), f3(wa.ParityFactor()))
 	}
-	return t
+	t.Add(row...)
+	return []*Table{t}
+}
+
+// Fig16ZRWASweep reproduces Fig. 16 in full (all ZRWA sizes).
+func Fig16ZRWASweep(s Scale, r *Run) *Table {
+	return Experiments["fig16"].Tables(s, r)[0]
 }

@@ -1,0 +1,21 @@
+package metrics
+
+import "testing"
+
+func TestRunStatsSpeedup(t *testing.T) {
+	r := RunStats{WallNanos: 2e9, VirtualNanos: 5e9}
+	if got := r.Speedup(); got != 2.5 {
+		t.Fatalf("Speedup = %v, want 2.5", got)
+	}
+	if got := (RunStats{VirtualNanos: 100}).Speedup(); got != 0 {
+		t.Fatalf("zero-wall Speedup = %v, want 0", got)
+	}
+}
+
+func TestRunStatsAdd(t *testing.T) {
+	r := RunStats{WallNanos: 10, VirtualNanos: 20}
+	r.Add(RunStats{WallNanos: 5, VirtualNanos: 7})
+	if r.WallNanos != 15 || r.VirtualNanos != 27 {
+		t.Fatalf("Add = %+v", r)
+	}
+}

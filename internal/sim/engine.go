@@ -10,6 +10,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 )
 
 // Time is a virtual timestamp in nanoseconds since simulation start.
@@ -52,6 +53,7 @@ type Engine struct {
 	seq     uint64
 	events  eventHeap
 	stopped bool
+	sink    *atomic.Int64 // optional: accumulates virtual time advanced
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -63,6 +65,23 @@ func NewEngine() *Engine {
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetTimeSink registers an accumulator credited with every nanosecond of
+// virtual time this engine advances. Many engines (one simulation each,
+// possibly on different goroutines) may share one sink, which is how the
+// benchmark runner totals simulated time per experiment.
+func (e *Engine) SetTimeSink(sink *atomic.Int64) { e.sink = sink }
+
+// advanceTo moves the clock forward to t, crediting the sink. Called once
+// per clock movement, so recursion through Run/RunUntil never double-counts.
+func (e *Engine) advanceTo(t Time) {
+	if t > e.now {
+		if e.sink != nil {
+			e.sink.Add(t - e.now)
+		}
+		e.now = t
+	}
+}
 
 // Pending reports the number of scheduled, not-yet-fired events.
 func (e *Engine) Pending() int { return len(e.events) }
@@ -85,7 +104,7 @@ func (e *Engine) Run() {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
 		ev := e.events.popEvent()
-		e.now = ev.at
+		e.advanceTo(ev.at)
 		ev.fn()
 	}
 }
@@ -96,11 +115,11 @@ func (e *Engine) RunUntil(t Time) {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped && e.events.peek().at <= t {
 		ev := e.events.popEvent()
-		e.now = ev.at
+		e.advanceTo(ev.at)
 		ev.fn()
 	}
 	if !e.stopped && e.now < t {
-		e.now = t
+		e.advanceTo(t)
 	}
 }
 
@@ -110,7 +129,7 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := e.events.popEvent()
-	e.now = ev.at
+	e.advanceTo(ev.at)
 	ev.fn()
 	return true
 }

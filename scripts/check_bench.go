@@ -1,0 +1,79 @@
+// Command check_bench gates CI on a bizabench JSON artifact: it fails
+// (non-zero exit) if the report is missing, malformed, carries the wrong
+// schema, records any experiment error, or yields zero samples for any
+// metric column of any table.
+//
+// Usage: go run scripts/check_bench.go /tmp/bench.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"biza/internal/bench"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fail("usage: check_bench <bench.json>")
+	}
+	path := os.Args[1]
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fail("reading %s: %v", path, err)
+	}
+	var rep bench.Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		fail("%s: malformed JSON: %v", path, err)
+	}
+	if rep.Schema != bench.ReportSchema {
+		fail("%s: schema %q, want %q", path, rep.Schema, bench.ReportSchema)
+	}
+	if len(rep.Results) == 0 {
+		fail("%s: no results", path)
+	}
+	totalSamples := 0
+	for i := range rep.Results {
+		res := &rep.Results[i]
+		if res.Error != "" {
+			fail("experiment %s failed: %s", res.Experiment, res.Error)
+		}
+		if len(res.Tables) == 0 {
+			fail("experiment %s: no tables", res.Experiment)
+		}
+		if len(res.Samples) == 0 {
+			fail("experiment %s: no samples", res.Experiment)
+		}
+		// Every metric column of every table must have at least one
+		// sample: an all-dash or unparseable column means the experiment
+		// silently stopped reporting that metric.
+		byMetric := map[string]int{}
+		for _, s := range res.Samples {
+			byMetric[s.Table+"/"+s.Metric]++
+		}
+		for _, tab := range res.Tables {
+			lc := tab.LabelCols
+			if lc == 0 {
+				lc = 1
+			}
+			if len(tab.Rows) == 0 {
+				fail("experiment %s: table %s has no rows", res.Experiment, tab.ID)
+			}
+			for _, metric := range tab.Header[lc:] {
+				if byMetric[tab.ID+"/"+metric] == 0 {
+					fail("experiment %s: zero samples for metric %s/%s",
+						res.Experiment, tab.ID, metric)
+				}
+			}
+		}
+		totalSamples += len(res.Samples)
+	}
+	fmt.Printf("bench check ok: %d experiment(s), %d samples, %s total\n",
+		len(rep.Results), totalSamples, rep.Stats())
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "check_bench: "+format+"\n", args...)
+	os.Exit(1)
+}
