@@ -1,0 +1,87 @@
+// Command bizafio is an fio-like microbenchmark driver for any platform:
+//
+//	bizafio -platform BIZA -rw write -pattern seq -size 64K -depth 32 -ms 50
+//	bizafio -platform mdraid+dmzap -rw read -pattern rand -size 4K
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"biza/internal/sim"
+	"biza/internal/stack"
+	"biza/internal/workload"
+)
+
+func parseSize(s string) (int, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1024, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	bytes := n * mult
+	if bytes%4096 != 0 || bytes == 0 {
+		return 0, fmt.Errorf("size %q not a positive multiple of 4K", s)
+	}
+	return bytes / 4096, nil
+}
+
+func main() {
+	platform := flag.String("platform", "BIZA", "platform kind (BIZA, BIZAw/oSelector, BIZAw/oAvoid, RAIZN, dmzap+RAIZN, mdraid+dmzap, mdraid+ConvSSD)")
+	rw := flag.String("rw", "write", "write or read")
+	pattern := flag.String("pattern", "seq", "seq or rand")
+	size := flag.String("size", "64K", "request size (multiple of 4K)")
+	depth := flag.Int("depth", 32, "I/O depth")
+	ms := flag.Int("ms", 50, "measurement window in virtual milliseconds")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	blocks, err := parseSize(*size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	p, err := stack.New(stack.Kind(*platform), stack.Options{Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	spec := workload.MicroSpec{
+		SizeBlocks: blocks,
+		IODepth:    *depth,
+		Duration:   sim.Time(*ms) * sim.Millisecond,
+		Seed:       *seed,
+	}
+	if *pattern == "rand" {
+		spec.Pattern = workload.Rand
+	}
+	if *rw == "read" {
+		spec.Read = true
+		span := p.Dev.Blocks() / 2
+		spec.SpanBlocks = span
+		workload.Precondition(p.Eng, p.Dev, span, 16)
+	}
+	res := workload.RunMicro(p.Eng, p.Dev, spec)
+	s := res.Lat.Summarize()
+	fmt.Printf("%s %s %s size=%s depth=%d\n", *platform, *rw, *pattern, *size, *depth)
+	fmt.Printf("  throughput: %s   iops: %.0f\n", res.Throughput(), float64(res.Ops)/(float64(res.Elapsed)/1e9))
+	fmt.Printf("  latency: avg=%.1fus p50=%.1fus p99=%.1fus p99.99=%.1fus\n",
+		s.Mean/1000, float64(s.P50)/1000, float64(s.P99)/1000, float64(s.P9999)/1000)
+	if res.Errors > 0 {
+		fmt.Printf("  errors: %d\n", res.Errors)
+	}
+	wa := p.FlashWriteAmp()
+	if wa.UserBytes > 0 {
+		fmt.Printf("  write amp: %.3f (data %.3f + parity %.3f)\n", wa.Factor(), wa.DataFactor(), wa.ParityFactor())
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"biza/internal/metrics"
+	"biza/internal/obs"
 	"biza/internal/sim"
 	"biza/internal/stack"
 )
@@ -48,9 +49,19 @@ const DefaultSeed uint64 = 1
 // derive, and (when driven by the Runner) the virtual-time accumulator
 // that credits simulated nanoseconds to the experiment's accounting.
 type Run struct {
-	base uint64
-	exp  string
-	vt   *atomic.Int64 // optional virtual-time sink (Runner accounting)
+	base  uint64
+	exp   string
+	point string        // current config point (trace naming)
+	vt    *atomic.Int64 // optional virtual-time sink (Runner accounting)
+
+	// Observability side-channel: when traceCfg is set, Platform attaches
+	// a fresh obs.Trace to every stack it assembles; PublishHistogram
+	// collects latency distributions. Both are drained by the Runner after
+	// RunPoint returns, in canonical point order, so the report is
+	// bit-identical for any Parallel value.
+	traceCfg *obs.Config
+	traces   []*obs.Trace
+	hists    []HistogramDump
 }
 
 // NewRun returns a run context for one experiment. Tests and direct
@@ -72,10 +83,53 @@ func (r *Run) NewEngine() *sim.Engine {
 	return eng
 }
 
-// Platform assembles a stack platform on a tracked engine.
+// Platform assembles a stack platform on a tracked engine. When tracing
+// is enabled the platform gets a fresh obs.Trace named after the run's
+// (experiment, point, ordinal, kind) tuple; names depend only on the
+// deterministic construction order inside RunPoint, never on scheduling.
 func (r *Run) Platform(kind stack.Kind, opts stack.Options) (*stack.Platform, error) {
+	if r.traceCfg != nil && opts.Trace == nil {
+		tr := obs.New(*r.traceCfg)
+		name := r.exp
+		if r.point != "" {
+			name += "/" + r.point
+		}
+		tr.SetName(fmt.Sprintf("%s/%d/%s", name, len(r.traces), kind))
+		r.traces = append(r.traces, tr)
+		opts.Trace = tr
+	}
 	return stack.NewOn(r.NewEngine(), kind, opts)
 }
+
+// EnableTrace turns on per-platform span/event collection for this run
+// (the Runner does this automatically when Runner.Trace is set).
+func (r *Run) EnableTrace(cfg obs.Config) {
+	c := cfg
+	r.traceCfg = &c
+}
+
+// Traces returns the traces attached so far, in construction order. Each
+// is finalized so counter probes snapshot their final values.
+func (r *Run) Traces() []*obs.Trace {
+	for _, tr := range r.traces {
+		tr.Finalize()
+	}
+	return r.traces
+}
+
+// PublishHistogram exports a latency (or other sample) distribution into
+// the machine-readable Result: summary scalars plus the non-empty bucket
+// vector, so downstream tooling can re-derive arbitrary percentiles.
+func (r *Run) PublishHistogram(name, unit string, h *metrics.Histogram) {
+	if h == nil {
+		return
+	}
+	r.hists = append(r.hists, HistogramDump{
+		Name: name, Unit: unit, Summary: h.Summarize(), Buckets: h.Buckets()})
+}
+
+// Histograms returns the distributions published so far.
+func (r *Run) Histograms() []HistogramDump { return r.hists }
 
 // Table is one regenerated artifact.
 type Table struct {
@@ -158,8 +212,10 @@ func (e *Experiment) assemble(parts [][]*Table) []*Table {
 func (e *Experiment) Tables(s Scale, r *Run) []*Table {
 	parts := make([][]*Table, len(e.Points))
 	for i, pt := range e.Points {
+		r.point = pt
 		parts[i] = e.RunPoint(s, r, pt)
 	}
+	r.point = ""
 	return e.assemble(parts)
 }
 

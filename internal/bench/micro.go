@@ -124,6 +124,7 @@ func table3Point(s Scale, r *Run, point string) []*Table {
 		zoneStream(eng, dev, z, cfg.NumChannels*len(sc.zones), 8, 16, hist.Record, &bytes)
 	}
 	eng.RunUntil(s.Duration)
+	r.PublishHistogram(point+"/lat", "ns", hist)
 	mbps := float64(bytes) / 1e6 / (float64(s.Duration) / 1e9)
 	t.Add(sc.label, f1(mbps), us(sim.Time(hist.Mean())), us(hist.Percentile(50)), us(hist.Percentile(99.99)))
 	return []*Table{t}
@@ -155,7 +156,11 @@ func fig5Point(s Scale, r *Run, point string) []*Table {
 		return float64(bytes) / 1e6 / (float64(s.Duration) / 1e9)
 	}
 	d1, d32 := run(1), run(32)
-	t.Add(fmt.Sprintf("%d", sizeKB), f1(d1), f1(d32), f2(d1/d32))
+	retained := 0.0
+	if d32 > 0 {
+		retained = d1 / d32
+	}
+	t.Add(fmt.Sprintf("%d", sizeKB), f1(d1), f1(d32), f2(retained))
 	return []*Table{t}
 }
 
@@ -216,6 +221,7 @@ func microGridPoint(s Scale, r *Run, read bool, kind stack.Kind) []*Table {
 				IODepth:    32, Duration: s.Duration,
 				SpanBlocks: span, Seed: r.Seed(cell + "/wl"),
 			})
+			r.PublishHistogram(cell+"/lat", "ns", res.Lat)
 			trow = append(trow, f1(res.Throughput().MBps()))
 			lrow = append(lrow, f1(res.Lat.Mean()/1000))
 		}

@@ -8,11 +8,14 @@ import (
 	"strings"
 
 	"biza/internal/metrics"
+	"biza/internal/obs"
 )
 
 // ReportSchema identifies the JSON artifact layout emitted by the Runner
-// (the BENCH_results.json perf-trajectory format).
-const ReportSchema = "biza-bench/v1"
+// (the BENCH_results.json perf-trajectory format). v2 adds per-result
+// histogram bucket vectors ("histograms") and probe snapshots
+// ("stats.probes"); v1 consumers ignore both.
+const ReportSchema = "biza-bench/v2"
 
 // Sample is one machine-readable metric cell extracted from a table:
 // the value of one metric column for one identity row.
@@ -24,12 +27,22 @@ type Sample struct {
 	Value  float64           `json:"value"`
 }
 
+// HistogramDump is one exported sample distribution: summary scalars plus
+// the non-empty bucket vector, enough to re-derive arbitrary percentiles.
+type HistogramDump struct {
+	Name    string           `json:"name"`
+	Unit    string           `json:"unit,omitempty"`
+	Summary metrics.Summary  `json:"summary"`
+	Buckets []metrics.Bucket `json:"buckets,omitempty"`
+}
+
 // Result is the machine-readable outcome of one experiment run.
 type Result struct {
 	Experiment string           `json:"experiment"`
 	Seed       uint64           `json:"seed"`
 	Tables     []*Table         `json:"tables,omitempty"`
 	Samples    []Sample         `json:"samples,omitempty"`
+	Histograms []HistogramDump  `json:"histograms,omitempty"`
 	Stats      metrics.RunStats `json:"stats"`
 	Error      string           `json:"error,omitempty"`
 }
@@ -42,6 +55,12 @@ type Report struct {
 	Quick     bool     `json:"quick"`
 	WallNanos int64    `json:"wall_ns"` // elapsed wall time of the whole sweep
 	Results   []Result `json:"results"`
+
+	// Traces holds the finalized per-platform observability traces, in
+	// canonical (experiment, point, construction) order. They are exported
+	// via obs.WritePerfetto / obs.WriteJSONL rather than embedded in the
+	// report JSON.
+	Traces []*obs.Trace `json:"-"`
 }
 
 // Failed lists the experiments that did not complete, in report order.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"biza/internal/metrics"
+	"biza/internal/obs"
 )
 
 // Runner executes experiments — and the independent config points inside
@@ -21,6 +22,11 @@ type Runner struct {
 	Seed     uint64 // base seed for every derived RNG stream
 	Parallel int    // worker count; <=1 runs serially
 	Quick    bool   // recorded in the report for provenance
+
+	// Trace enables per-platform observability collection: every stack a
+	// point assembles gets an obs.Trace with this config, gathered into
+	// Report.Traces in canonical order (byte-identical across Parallel).
+	Trace *obs.Config
 }
 
 // unit is one schedulable shard: a single config point of one experiment.
@@ -42,6 +48,7 @@ func (rn *Runner) Run(ids []string) *Report {
 	parts := make([][][]*Table, len(ids))   // parts[e][p]: tables of point p
 	wall := make([][]int64, len(ids))       // wall[e][p]: wall ns of point p
 	perr := make([][]string, len(ids))      // perr[e][p]: panic message, if any
+	runs := make([][]*Run, len(ids))        // runs[e][p]: run context (traces, hists)
 	sinks := make([]atomic.Int64, len(ids)) // virtual time per experiment
 	var units []unit
 	for e, id := range ids {
@@ -53,6 +60,7 @@ func (rn *Runner) Run(ids []string) *Report {
 		parts[e] = make([][]*Table, n)
 		wall[e] = make([]int64, n)
 		perr[e] = make([]string, n)
+		runs[e] = make([]*Run, n)
 		for p := 0; p < n; p++ {
 			units = append(units, unit{exp: e, point: p})
 		}
@@ -68,7 +76,7 @@ func (rn *Runner) Run(ids []string) *Report {
 		go func() {
 			defer wg.Done()
 			for u := range queue {
-				rn.runUnit(ids[u.exp], exps[u.exp], u, parts[u.exp], wall[u.exp], perr[u.exp], &sinks[u.exp])
+				rn.runUnit(ids[u.exp], exps[u.exp], u, parts[u.exp], wall[u.exp], perr[u.exp], runs[u.exp], &sinks[u.exp])
 			}
 		}()
 	}
@@ -95,6 +103,18 @@ func (rn *Runner) Run(ids []string) *Report {
 				res.Stats.Add(metrics.RunStats{WallNanos: wall[e][p]})
 			}
 			res.Stats.VirtualNanos = sinks[e].Load()
+			// Drain the observability side-channel in canonical point
+			// order, independent of which worker ran each unit.
+			for _, run := range runs[e] {
+				if run == nil {
+					continue
+				}
+				res.Histograms = append(res.Histograms, run.Histograms()...)
+				for _, tr := range run.Traces() {
+					res.Stats.Probes = metrics.MergeProbes(res.Stats.Probes, tr.ProbeStats())
+					rep.Traces = append(rep.Traces, tr)
+				}
+			}
 			if res.Error == "" {
 				res.Tables = exps[e].assemble(parts[e])
 				res.Samples = samplesOf(res.Tables)
@@ -116,7 +136,7 @@ func pointName(e *Experiment, p int) string {
 // runUnit executes one config point, converting a panic into a recorded
 // failure so one broken experiment cannot take down the sweep.
 func (rn *Runner) runUnit(id string, e *Experiment, u unit,
-	parts [][]*Table, wall []int64, perr []string, sink *atomic.Int64) {
+	parts [][]*Table, wall []int64, perr []string, runs []*Run, sink *atomic.Int64) {
 	t0 := time.Now()
 	defer func() {
 		wall[u.point] = time.Since(t0).Nanoseconds()
@@ -124,6 +144,7 @@ func (rn *Runner) runUnit(id string, e *Experiment, u unit,
 			perr[u.point] = fmt.Sprint(p)
 		}
 	}()
-	run := &Run{base: rn.Seed, exp: id, vt: sink}
+	run := &Run{base: rn.Seed, exp: id, point: e.Points[u.point], vt: sink, traceCfg: rn.Trace}
+	runs[u.point] = run
 	parts[u.point] = e.RunPoint(rn.Scale, run, e.Points[u.point])
 }

@@ -131,7 +131,10 @@ func fig14Point(s Scale, r *Run, point string) []*Table {
 	// update per chunk; ideal writes only first-touches plus one final
 	// parity per k chunks of unique data.
 	st := tr.Characterize()
-	unique := float64(uniqueWriteBytes(tr)) / float64(st.WrittenBytes)
+	unique := 0.0
+	if st.WrittenBytes > 0 {
+		unique = float64(uniqueWriteBytes(tr)) / float64(st.WrittenBytes)
+	}
 	k := 3.0
 	row = append(row,
 		fmt.Sprintf("%s(%s+%s)", f2(2.0), f2(1.0), f2(1.0)),

@@ -31,6 +31,7 @@ import (
 	"biza/internal/ghostcache"
 	"biza/internal/metrics"
 	"biza/internal/nvme"
+	"biza/internal/obs"
 	"biza/internal/sim"
 )
 
@@ -211,7 +212,14 @@ type Core struct {
 	gcEvents       uint64
 	inplaceHits    uint64
 	detectCorrects uint64
+
+	tr *obs.Trace
 }
+
+// SetTracer attaches an observability trace: array-level spans cover each
+// block-interface Write/Read end to end, and GC victim selections are
+// logged as typed events.
+func (c *Core) SetTracer(tr *obs.Trace) { c.tr = tr }
 
 type openStripe struct {
 	sn            int64

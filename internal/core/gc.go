@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"biza/internal/obs"
 	"biza/internal/zns"
 )
 
@@ -43,6 +44,10 @@ func (c *Core) gcStep(ds *devState) {
 	}
 	c.gcEvents++
 	vzs := ds.zones[victim]
+	if c.tr != nil {
+		c.tr.Event(int64(c.eng.Now()), obs.LayerBIZA, obs.EvGCVictim, ds.id, victim,
+			vzs.valid, int64(len(ds.freeZones)), 0)
+	}
 
 	// Tag BUSY: the victim's channel (reads + erase) and the current GC
 	// destination zones on every device (migration programs).

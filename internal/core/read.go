@@ -6,6 +6,7 @@ import (
 
 	"biza/internal/blockdev"
 	"biza/internal/cpumodel"
+	"biza/internal/obs"
 	"biza/internal/sim"
 	"biza/internal/zns"
 )
@@ -36,6 +37,17 @@ func (c *Core) Read(lba int64, nblocks int, done func(blockdev.ReadResult)) {
 		return
 	}
 	bs := c.chunkBytes()
+	var span obs.SpanID
+	if c.tr != nil {
+		span = c.tr.SpanBegin(int64(start), obs.LayerBIZA, obs.OpRead, -1, -1, lba, int64(nblocks))
+		innerDone := done
+		done = func(r blockdev.ReadResult) {
+			c.tr.SpanEnd(span, int64(c.eng.Now()), r.Err != nil)
+			if innerDone != nil {
+				innerDone(r)
+			}
+		}
+	}
 	buf := make([]byte, int64(nblocks)*bs)
 	// Coalesce per (device, zone): chunks of a striped logical range land
 	// at consecutive zone offsets on each member even though their buffer

@@ -6,6 +6,7 @@ import (
 	"biza/internal/blockdev"
 	"biza/internal/cpumodel"
 	"biza/internal/erasure"
+	"biza/internal/obs"
 	"biza/internal/sim"
 	"biza/internal/zns"
 )
@@ -63,6 +64,17 @@ func (c *Core) Write(lba int64, nblocks int, data []byte, done func(blockdev.Wri
 	}
 	bs := c.chunkBytes()
 	c.userBytes += uint64(nblocks) * uint64(bs)
+	var span obs.SpanID
+	if c.tr != nil {
+		span = c.tr.SpanBegin(int64(start), obs.LayerBIZA, obs.OpWrite, -1, -1, lba, int64(nblocks))
+		innerDone := done
+		done = func(r blockdev.WriteResult) {
+			c.tr.SpanEnd(span, int64(c.eng.Now()), r.Err != nil)
+			if innerDone != nil {
+				innerDone(r)
+			}
+		}
+	}
 	remaining := nblocks
 	var firstErr error
 	for i := 0; i < nblocks; i++ {

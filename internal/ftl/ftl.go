@@ -11,6 +11,7 @@ import (
 
 	"biza/internal/blockdev"
 	"biza/internal/metrics"
+	"biza/internal/obs"
 	"biza/internal/sim"
 )
 
@@ -174,6 +175,32 @@ type Device struct {
 	gcMigrated  uint64
 	erases      uint64
 	gcEvents    uint64
+
+	tr    *obs.Trace
+	trDev int
+}
+
+// SetTracer attaches an observability trace; dev labels this device in the
+// trace. Passing nil detaches.
+func (d *Device) SetTracer(tr *obs.Trace, dev int) {
+	d.tr = tr
+	d.trDev = dev
+}
+
+// ChannelWriteBusy reports cumulative busy time of channel ch's program bus.
+func (d *Device) ChannelWriteBusy(ch int) sim.Time {
+	if ch < 0 || ch >= len(d.chans) {
+		return 0
+	}
+	return d.chans[ch].writeBus.BusyTime()
+}
+
+// ChannelReadBusy reports cumulative busy time of channel ch's read bus.
+func (d *Device) ChannelReadBusy(ch int) sim.Time {
+	if ch < 0 || ch >= len(d.chans) {
+		return 0
+	}
+	return d.chans[ch].readBus.BusyTime()
 }
 
 type waiter struct {
@@ -342,6 +369,11 @@ func (d *Device) Write(lba int64, nblocks int, data []byte, done func(blockdev.W
 	size := n * int64(d.cfg.BlockSize)
 	d.userWritten += uint64(size)
 
+	var span obs.SpanID
+	if d.tr != nil {
+		span = d.tr.SpanBegin(int64(start), obs.LayerFTL, obs.OpWrite, d.trDev, -1, lba, n)
+	}
+
 	// Page allocation happens only once cache credit is granted: the cache
 	// is the device's admission control, which bounds how far allocation
 	// can run ahead of GC and keeps free-block accounting safe.
@@ -363,8 +395,12 @@ func (d *Device) Write(lba int64, nblocks int, data []byte, done func(blockdev.W
 					d.programPage(ppn, ch, false)
 				}
 				d.maybeStartGC()
-				d.writeLink.Submit(size*sim.Second/d.cfg.DeviceWriteBW, func(_, _ sim.Time) {
+				d.writeLink.Submit(size*sim.Second/d.cfg.DeviceWriteBW, func(s, e sim.Time) {
+					d.tr.Mark(span, int64(s), int64(e), obs.LayerFTL, obs.PhaseXfer, d.trDev, -1, -1)
+					bufStart := d.eng.Now()
 					d.eng.After(d.cfg.BufWriteLatency, func() {
+						d.tr.Mark(span, int64(bufStart), int64(d.eng.Now()), obs.LayerFTL, obs.PhaseBuffer, d.trDev, -1, -1)
+						d.tr.SpanEnd(span, int64(d.eng.Now()), false)
 						if done != nil {
 							done(blockdev.WriteResult{Latency: d.eng.Now() - start})
 						}
@@ -490,11 +526,23 @@ func (d *Device) Read(lba int64, nblocks int, done func(blockdev.ReadResult)) {
 		}
 		done(blockdev.ReadResult{Data: data, Latency: d.eng.Now() - start})
 	}
+	var span obs.SpanID
+	if d.tr != nil {
+		span = d.tr.SpanBegin(int64(start), obs.LayerFTL, obs.OpRead, d.trDev, -1, lba, n)
+		innerFinish := finish
+		finish = func() {
+			d.tr.SpanEnd(span, int64(d.eng.Now()), false)
+			innerFinish()
+		}
+	}
 	cr := d.chans[ch]
 	d.controller.Submit(d.cfg.CmdOverhead, func(_, _ sim.Time) {
-		cr.readBus.Submit(size*sim.Second/d.cfg.ChannelReadBW, func(_, _ sim.Time) {
-			cr.dies.Submit(d.cfg.DieReadLatency+size*sim.Second/d.cfg.DieReadBW, func(_, _ sim.Time) {
-				d.readLink.Submit(size*sim.Second/d.cfg.DeviceReadBW, func(_, _ sim.Time) {
+		cr.readBus.Submit(size*sim.Second/d.cfg.ChannelReadBW, func(s, e sim.Time) {
+			d.tr.Mark(span, int64(s), int64(e), obs.LayerFTL, obs.PhaseBus, d.trDev, -1, ch)
+			cr.dies.Submit(d.cfg.DieReadLatency+size*sim.Second/d.cfg.DieReadBW, func(s, e sim.Time) {
+				d.tr.Mark(span, int64(s), int64(e), obs.LayerFTL, obs.PhaseDie, d.trDev, -1, ch)
+				d.readLink.Submit(size*sim.Second/d.cfg.DeviceReadBW, func(s, e sim.Time) {
+					d.tr.Mark(span, int64(s), int64(e), obs.LayerFTL, obs.PhaseXfer, d.trDev, -1, -1)
 					finish()
 				})
 			})
@@ -550,6 +598,10 @@ func (d *Device) gcStep() {
 		return
 	}
 	d.gcEvents++
+	if d.tr != nil {
+		d.tr.Event(int64(d.eng.Now()), obs.LayerFTL, obs.EvGCVictim, d.trDev, victim,
+			int64(d.blocks[victim].valid), int64(len(d.freeList)), 0)
+	}
 	fb := &d.blocks[victim]
 	fb.full = false // withdraw from victim candidacy while collecting
 	base := int64(victim) * int64(d.cfg.PagesPerBlock)
@@ -567,7 +619,8 @@ func (d *Device) gcStep() {
 		cr := d.chans[fb.channel]
 		left := d.cfg.DiesPerChannel
 		for i := 0; i < d.cfg.DiesPerChannel; i++ {
-			cr.dies.Submit(d.cfg.EraseLatency, func(_, _ sim.Time) {
+			cr.dies.Submit(d.cfg.EraseLatency, func(s, e sim.Time) {
+				d.tr.Segment(int64(s), int64(e), obs.LayerFTL, obs.SegErase, d.trDev, victim, fb.channel, 0)
 				left--
 				if left > 0 {
 					return

@@ -171,15 +171,46 @@ func (h *Histogram) Reset() {
 	h.min = math.MaxInt64
 }
 
+// Bucket is one non-empty histogram bucket: samples in [Lo, Hi) with the
+// stated count. The bucket vector lets downstream tooling re-derive
+// arbitrary percentiles instead of settling for the Summary scalars.
+type Bucket struct {
+	Lo    int64  `json:"lo"`
+	Hi    int64  `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in ascending value order.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		var lo, hi int64
+		if b < histSubBuckets {
+			lo, hi = int64(b), int64(b)+1
+		} else {
+			exp := b / histSubBuckets
+			frac := int64(b % histSubBuckets)
+			width := int64(1) << (exp - 5)
+			lo = int64(1)<<exp + frac*width
+			hi = lo + width
+		}
+		out = append(out, Bucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return out
+}
+
 // Summary is a compact snapshot of a histogram.
 type Summary struct {
-	Count uint64
-	Mean  float64
-	P50   int64
-	P99   int64
-	P9999 int64
-	Min   int64
-	Max   int64
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P99   int64   `json:"p99"`
+	P9999 int64   `json:"p9999"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
 }
 
 // Summarize captures the usual percentile set.
@@ -196,8 +227,17 @@ func (h *Histogram) Summarize() Summary {
 }
 
 func (s Summary) String() string {
+	// A zero-sample summary has no meaningful percentiles, and a Summary
+	// assembled outside Summarize may carry NaN/Inf — never print either.
+	if s.Count == 0 {
+		return "n=0 (no samples)"
+	}
+	mean := s.Mean
+	if math.IsNaN(mean) || math.IsInf(mean, 0) {
+		mean = 0
+	}
 	return fmt.Sprintf("n=%d mean=%.1fus p50=%.1fus p99=%.1fus p99.99=%.1fus",
-		s.Count, s.Mean/1000, float64(s.P50)/1000, float64(s.P99)/1000, float64(s.P9999)/1000)
+		s.Count, mean/1000, float64(s.P50)/1000, float64(s.P99)/1000, float64(s.P9999)/1000)
 }
 
 // CDF computes an empirical cumulative distribution over samples: it returns

@@ -1,0 +1,54 @@
+package metrics
+
+import "sort"
+
+// ProbeKind distinguishes how repeated samples of a probe fold together.
+type ProbeKind string
+
+// Probe kinds.
+const (
+	// ProbeCounter accumulates: merging sums values.
+	ProbeCounter ProbeKind = "counter"
+	// ProbeGauge tracks a level: merging keeps the maximum observed.
+	ProbeGauge ProbeKind = "gauge"
+)
+
+// ProbeStat is one named probe reading exported by the observability layer:
+// per-channel busy time, peak open-zone count, peak queue depth, and the
+// like. It rides inside RunStats so probe readings land in the benchmark
+// Result JSON next to the timing stats.
+type ProbeStat struct {
+	Name  string    `json:"name"`
+	Kind  ProbeKind `json:"kind"`
+	Value float64   `json:"value"`
+}
+
+// MergeProbes folds b into a by probe name: counters sum, gauges keep the
+// max. The result is sorted by name so merge order never shows in output.
+func MergeProbes(a, b []ProbeStat) []ProbeStat {
+	if len(b) == 0 {
+		return a
+	}
+	byName := make(map[string]int, len(a))
+	out := append([]ProbeStat(nil), a...)
+	for i, p := range out {
+		byName[p.Name] = i
+	}
+	for _, p := range b {
+		i, ok := byName[p.Name]
+		if !ok {
+			byName[p.Name] = len(out)
+			out = append(out, p)
+			continue
+		}
+		if p.Kind == ProbeGauge {
+			if p.Value > out[i].Value {
+				out[i].Value = p.Value
+			}
+		} else {
+			out[i].Value += p.Value
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -10,6 +10,11 @@ import "fmt"
 type RunStats struct {
 	WallNanos    int64 `json:"wall_ns"`    // host nanoseconds spent
 	VirtualNanos int64 `json:"virtual_ns"` // simulated nanoseconds covered
+
+	// Probes carries observability probe readings (per-channel busy time,
+	// peak open zones, peak queue depth) when the run was traced; empty
+	// otherwise.
+	Probes []ProbeStat `json:"probes,omitempty"`
 }
 
 // Speedup reports virtual nanoseconds simulated per wall nanosecond
@@ -30,6 +35,7 @@ func (r RunStats) VirtualPerWallSecond() float64 { return r.Speedup() }
 func (r *RunStats) Add(other RunStats) {
 	r.WallNanos += other.WallNanos
 	r.VirtualNanos += other.VirtualNanos
+	r.Probes = MergeProbes(r.Probes, other.Probes)
 }
 
 func (r RunStats) String() string {

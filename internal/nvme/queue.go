@@ -12,6 +12,7 @@
 package nvme
 
 import (
+	"biza/internal/obs"
 	"biza/internal/sim"
 	"biza/internal/zns"
 )
@@ -41,6 +42,10 @@ type Queue struct {
 	submitted uint64
 	reordered uint64
 	lastPlan  sim.Time
+
+	tr       *obs.Trace
+	trDev    int
+	inflight int64
 }
 
 // New wraps dev with a delivery queue.
@@ -57,6 +62,22 @@ func New(dev *zns.Device, cfg Config) *Queue {
 // Device returns the underlying device (admin commands and stats go
 // straight to it; ordering is irrelevant for them in this model).
 func (q *Queue) Device() *zns.Device { return q.dev }
+
+// SetTracer attaches an observability trace; dev labels this queue's
+// device in the trace. The queue owns the span for each I/O (covering the
+// full submit → complete lifecycle) and hands the span id down to the
+// device so channel/die service marks attach to the same span.
+func (q *Queue) SetTracer(tr *obs.Trace, dev int) {
+	q.tr = tr
+	q.trDev = dev
+	q.dev.SetTracer(tr, dev)
+}
+
+// qd records a queue-depth change; only touched when tracing is on.
+func (q *Queue) qd(delta int64) {
+	q.inflight += delta
+	q.tr.Counter(int64(q.eng.Now()), obs.ProbeKey(obs.ProbeQueueDepth, q.trDev, 0), q.inflight)
+}
 
 // Reordered reports how many deliveries were scheduled before an
 // earlier-submitted command's delivery (diagnostics for tests).
@@ -86,9 +107,22 @@ func (q *Queue) deliverAt(z int, ordered bool) sim.Time {
 func (q *Queue) Write(z int, lba int64, nblocks int, data []byte, oob [][]byte, tag zns.WriteTag, done func(zns.WriteResult)) {
 	start := q.eng.Now()
 	at := q.deliverAt(z, true)
+	var span obs.SpanID
+	if q.tr != nil {
+		span = q.tr.SpanBegin(int64(start), obs.LayerNVMe, obs.OpWrite, q.trDev, z, lba, int64(nblocks))
+		q.qd(+1)
+	}
 	q.eng.At(at, func() {
+		if q.tr != nil {
+			q.tr.Mark(span, int64(start), int64(at), obs.LayerNVMe, obs.PhaseQueue, q.trDev, z, -1)
+			q.dev.TraceSpan(span)
+		}
 		q.dev.Write(z, lba, nblocks, data, oob, tag, func(r zns.WriteResult) {
 			r.Latency = q.eng.Now() - start
+			if q.tr != nil {
+				q.tr.SpanEnd(span, int64(q.eng.Now()), r.Err != nil)
+				q.qd(-1)
+			}
 			if done != nil {
 				done(r)
 			}
@@ -100,9 +134,22 @@ func (q *Queue) Write(z int, lba int64, nblocks int, data []byte, oob [][]byte, 
 func (q *Queue) Read(z int, lba int64, nblocks int, done func(zns.ReadResult)) {
 	start := q.eng.Now()
 	at := q.deliverAt(z, false)
+	var span obs.SpanID
+	if q.tr != nil {
+		span = q.tr.SpanBegin(int64(start), obs.LayerNVMe, obs.OpRead, q.trDev, z, lba, int64(nblocks))
+		q.qd(+1)
+	}
 	q.eng.At(at, func() {
+		if q.tr != nil {
+			q.tr.Mark(span, int64(start), int64(at), obs.LayerNVMe, obs.PhaseQueue, q.trDev, z, -1)
+			q.dev.TraceSpan(span)
+		}
 		q.dev.Read(z, lba, nblocks, func(r zns.ReadResult) {
 			r.Latency = q.eng.Now() - start
+			if q.tr != nil {
+				q.tr.SpanEnd(span, int64(q.eng.Now()), r.Err != nil)
+				q.qd(-1)
+			}
 			if done != nil {
 				done(r)
 			}
@@ -114,9 +161,22 @@ func (q *Queue) Read(z int, lba int64, nblocks int, done func(zns.ReadResult)) {
 func (q *Queue) Append(z int, nblocks int, data []byte, oob [][]byte, tag zns.WriteTag, done func(zns.AppendResult)) {
 	start := q.eng.Now()
 	at := q.deliverAt(z, true)
+	var span obs.SpanID
+	if q.tr != nil {
+		span = q.tr.SpanBegin(int64(start), obs.LayerNVMe, obs.OpAppend, q.trDev, z, -1, int64(nblocks))
+		q.qd(+1)
+	}
 	q.eng.At(at, func() {
+		if q.tr != nil {
+			q.tr.Mark(span, int64(start), int64(at), obs.LayerNVMe, obs.PhaseQueue, q.trDev, z, -1)
+			q.dev.TraceSpan(span)
+		}
 		q.dev.Append(z, nblocks, data, oob, tag, func(r zns.AppendResult) {
 			r.Latency = q.eng.Now() - start
+			if q.tr != nil {
+				q.tr.SpanEnd(span, int64(q.eng.Now()), r.Err != nil)
+				q.qd(-1)
+			}
 			if done != nil {
 				done(r)
 			}

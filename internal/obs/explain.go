@@ -1,0 +1,436 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Explain reads a trace previously exported with WritePerfetto or
+// WriteJSONL (format auto-detected) and prints, per traced engine, the top
+// contention sources: service tracks ranked by busy time, span latency by
+// layer/operation, zone event counts, and final probe values.
+func Explain(r io.Reader, w io.Writer, top int) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(1)
+	if err != nil {
+		return fmt.Errorf("empty trace: %w", err)
+	}
+	var procs []*explainProc
+	if head[0] == '[' {
+		procs, err = parsePerfetto(br)
+	} else {
+		procs, err = parseJSONL(br)
+	}
+	if err != nil {
+		return err
+	}
+	if top <= 0 {
+		top = 5
+	}
+	for _, p := range procs {
+		p.write(w, top)
+	}
+	return nil
+}
+
+// explainProc accumulates one traced engine's aggregates.
+type explainProc struct {
+	pid  int
+	name string
+
+	minTS, maxTS int64
+	haveTS       bool
+
+	busy      map[string]int64 // track -> busy ns
+	busyCount map[string]int   // track -> slice count
+
+	spanStart map[uint64]int64  // open spans
+	spanName  map[uint64]string // open span -> "layer op"
+	spanSum   map[string]int64  // "layer op" -> total latency ns
+	spanCount map[string]int
+	spanErr   int
+
+	events   map[string]int // event name (with reason suffix) -> count
+	counters map[string]int64
+}
+
+func newExplainProc(pid int) *explainProc {
+	return &explainProc{
+		pid:       pid,
+		busy:      map[string]int64{},
+		busyCount: map[string]int{},
+		spanStart: map[uint64]int64{},
+		spanName:  map[uint64]string{},
+		spanSum:   map[string]int64{},
+		spanCount: map[string]int{},
+		events:    map[string]int{},
+		counters:  map[string]int64{},
+	}
+}
+
+func (p *explainProc) see(ts int64) {
+	if !p.haveTS || ts < p.minTS {
+		p.minTS = ts
+	}
+	if !p.haveTS || ts > p.maxTS {
+		p.maxTS = ts
+	}
+	p.haveTS = true
+}
+
+func (p *explainProc) addSlice(track string, start, dur int64) {
+	p.see(start)
+	p.see(start + dur)
+	p.busy[track] += dur
+	p.busyCount[track]++
+}
+
+func (p *explainProc) beginSpan(id uint64, name string, ts int64) {
+	p.see(ts)
+	p.spanStart[id] = ts
+	p.spanName[id] = name
+}
+
+func (p *explainProc) endSpan(id uint64, ts int64, failed bool) {
+	p.see(ts)
+	start, ok := p.spanStart[id]
+	if !ok {
+		return
+	}
+	name := p.spanName[id]
+	delete(p.spanStart, id)
+	delete(p.spanName, id)
+	p.spanSum[name] += ts - start
+	p.spanCount[name]++
+	if failed {
+		p.spanErr++
+	}
+}
+
+func (p *explainProc) write(w io.Writer, top int) {
+	name := p.name
+	if name == "" {
+		name = fmt.Sprintf("trace%d", p.pid)
+	}
+	span := p.maxTS - p.minTS
+	fmt.Fprintf(w, "=== %s (virtual span %.3f ms) ===\n", name, float64(span)/1e6)
+
+	type kv struct {
+		k string
+		v int64
+	}
+	tracks := make([]kv, 0, len(p.busy))
+	for k, v := range p.busy {
+		tracks = append(tracks, kv{k, v})
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].v != tracks[j].v {
+			return tracks[i].v > tracks[j].v
+		}
+		return tracks[i].k < tracks[j].k
+	})
+	if len(tracks) > 0 {
+		fmt.Fprintf(w, "  top contention sources (busy time):\n")
+		for i, t := range tracks {
+			if i >= top {
+				break
+			}
+			util := 0.0
+			if span > 0 {
+				util = 100 * float64(t.v) / float64(span)
+			}
+			fmt.Fprintf(w, "    %-24s %10.3f ms busy  (%5.1f%% of span, %d slices)\n",
+				t.k, float64(t.v)/1e6, util, p.busyCount[t.k])
+		}
+	}
+
+	names := make([]string, 0, len(p.spanCount))
+	for k := range p.spanCount {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Fprintf(w, "  I/O spans:\n")
+		for _, n := range names {
+			c := p.spanCount[n]
+			fmt.Fprintf(w, "    %-24s n=%-8d mean latency %10.3f us\n",
+				n, c, float64(p.spanSum[n])/float64(c)/1e3)
+		}
+	}
+	if p.spanErr > 0 {
+		fmt.Fprintf(w, "    failed spans: %d\n", p.spanErr)
+	}
+	if len(p.spanStart) > 0 {
+		fmt.Fprintf(w, "    unterminated spans: %d\n", len(p.spanStart))
+	}
+
+	evs := make([]string, 0, len(p.events))
+	for k := range p.events {
+		evs = append(evs, k)
+	}
+	sort.Strings(evs)
+	if len(evs) > 0 {
+		fmt.Fprintf(w, "  zone/GC events:\n")
+		for _, e := range evs {
+			fmt.Fprintf(w, "    %-24s %d\n", e, p.events[e])
+		}
+	}
+
+	// Probes: zero-valued entries carry no signal; rank the rest by value
+	// so the busiest channels surface first, and cap at top entries.
+	ctrs := make([]kv, 0, len(p.counters))
+	for k, v := range p.counters {
+		if v != 0 {
+			ctrs = append(ctrs, kv{k, v})
+		}
+	}
+	sort.Slice(ctrs, func(i, j int) bool {
+		if ctrs[i].v != ctrs[j].v {
+			return ctrs[i].v > ctrs[j].v
+		}
+		return ctrs[i].k < ctrs[j].k
+	})
+	if len(ctrs) > 0 {
+		fmt.Fprintf(w, "  probes (final, nonzero):\n")
+		for i, c := range ctrs {
+			if i >= top {
+				fmt.Fprintf(w, "    ... %d more\n", len(ctrs)-i)
+				break
+			}
+			fmt.Fprintf(w, "    %-32s %d\n", c.k, c.v)
+		}
+	}
+}
+
+// perfettoEvent is the subset of trace_event fields Explain needs.
+type perfettoEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	ID   uint64          `json:"id"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	TS   json.Number     `json:"ts"`
+	Dur  json.Number     `json:"dur"`
+	Args json.RawMessage `json:"args"`
+}
+
+func parsePerfetto(r io.Reader) ([]*explainProc, error) {
+	dec := json.NewDecoder(r)
+	if _, err := dec.Token(); err != nil { // opening '['
+		return nil, fmt.Errorf("trace is not a JSON array: %w", err)
+	}
+	byPid := map[int]*explainProc{}
+	var order []*explainProc
+	proc := func(pid int) *explainProc {
+		p, ok := byPid[pid]
+		if !ok {
+			p = newExplainProc(pid)
+			byPid[pid] = p
+			order = append(order, p)
+		}
+		return p
+	}
+	threadName := map[[2]int]string{}
+	for dec.More() {
+		var ev perfettoEvent
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("bad trace event: %w", err)
+		}
+		p := proc(ev.Pid)
+		switch ev.Ph {
+		case "M":
+			var args struct {
+				Name string `json:"name"`
+			}
+			json.Unmarshal(ev.Args, &args)
+			switch ev.Name {
+			case "process_name":
+				p.name = args.Name
+			case "thread_name":
+				threadName[[2]int{ev.Pid, ev.Tid}] = args.Name
+			}
+		case "X":
+			start, err := usToNs(ev.TS)
+			if err != nil {
+				return nil, err
+			}
+			dur, err := usToNs(ev.Dur)
+			if err != nil {
+				return nil, err
+			}
+			track := threadName[[2]int{ev.Pid, ev.Tid}]
+			if track == "" {
+				track = fmt.Sprintf("tid%d", ev.Tid)
+			}
+			p.addSlice(track, start, dur)
+		case "b":
+			ts, err := usToNs(ev.TS)
+			if err != nil {
+				return nil, err
+			}
+			p.beginSpan(ev.ID, ev.Name, ts)
+		case "e":
+			ts, err := usToNs(ev.TS)
+			if err != nil {
+				return nil, err
+			}
+			var args struct {
+				Status string `json:"status"`
+			}
+			json.Unmarshal(ev.Args, &args)
+			p.endSpan(ev.ID, ts, args.Status == "error")
+		case "i":
+			ts, err := usToNs(ev.TS)
+			if err != nil {
+				return nil, err
+			}
+			p.see(ts)
+			name := ev.Name
+			var args struct {
+				Reason string `json:"reason"`
+			}
+			json.Unmarshal(ev.Args, &args)
+			if args.Reason != "" {
+				name += "/" + args.Reason
+			}
+			p.events[name]++
+		case "C":
+			ts, err := usToNs(ev.TS)
+			if err != nil {
+				return nil, err
+			}
+			p.see(ts)
+			var args struct {
+				Value int64 `json:"value"`
+			}
+			json.Unmarshal(ev.Args, &args)
+			p.counters[ev.Name] = args.Value
+		}
+	}
+	return order, nil
+}
+
+// jsonlLine is the union of WriteJSONL line shapes.
+type jsonlLine struct {
+	Trace  int    `json:"trace"`
+	Rec    string `json:"rec"`
+	Name   string `json:"name"`
+	TS     int64  `json:"ts"`
+	Span   uint64 `json:"span"`
+	Layer  string `json:"layer"`
+	Op     string `json:"op"`
+	Phase  string `json:"phase"`
+	Seg    string `json:"seg"`
+	Event  string `json:"event"`
+	Status string `json:"status"`
+	Reason string `json:"reason"`
+	Dev    int    `json:"dev"`
+	Ch     int    `json:"ch"`
+	Dur    int64  `json:"dur"`
+	Probe  string `json:"probe"`
+	Value  int64  `json:"value"`
+}
+
+func parseJSONL(r io.Reader) ([]*explainProc, error) {
+	byTrace := map[int]*explainProc{}
+	var order []*explainProc
+	proc := func(n int) *explainProc {
+		p, ok := byTrace[n]
+		if !ok {
+			p = newExplainProc(n)
+			byTrace[n] = p
+			order = append(order, p)
+		}
+		return p
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var l jsonlLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		p := proc(l.Trace)
+		switch l.Rec {
+		case "meta":
+			p.name = l.Name
+		case "span-begin":
+			p.beginSpan(l.Span, l.Layer+" "+l.Op, l.TS)
+		case "span-end":
+			p.endSpan(l.Span, l.TS, l.Status == "error")
+		case "mark":
+			p.addSlice(jsonlTrack(l.Dev, l.Ch, l.Layer), l.TS, l.Dur)
+		case "segment":
+			p.addSlice(jsonlTrack(l.Dev, l.Ch, l.Layer), l.TS, l.Dur)
+		case "event":
+			p.see(l.TS)
+			name := l.Event
+			if l.Reason != "" {
+				name += "/" + l.Reason
+			}
+			p.events[name]++
+		case "counter":
+			p.see(l.TS)
+			p.counters[l.Probe] = l.Value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return order, nil
+}
+
+func jsonlTrack(dev, ch int, layer string) string {
+	if ch >= 0 {
+		return fmt.Sprintf("dev%d ch%d", dev, ch)
+	}
+	if dev >= 0 {
+		return fmt.Sprintf("dev%d %s", dev, layer)
+	}
+	return layer + " service"
+}
+
+// usToNs converts a fixed-point microsecond literal ("12.345") to integer
+// nanoseconds without float round-trip.
+func usToNs(n json.Number) (int64, error) {
+	s := n.String()
+	if s == "" {
+		return 0, nil
+	}
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	whole, frac := s, ""
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		whole, frac = s[:i], s[i+1:]
+	}
+	us, err := strconv.ParseInt(whole, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad timestamp %q: %w", n, err)
+	}
+	for len(frac) < 3 {
+		frac += "0"
+	}
+	ns, err := strconv.ParseInt(frac[:3], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad timestamp %q: %w", n, err)
+	}
+	v := us*1000 + ns
+	if neg {
+		v = -v
+	}
+	return v, nil
+}

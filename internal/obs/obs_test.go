@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSpanLifecycleAndRecords(t *testing.T) {
+	tr := New(Config{})
+	span := tr.SpanBegin(100, LayerNVMe, OpWrite, 0, 3, 64, 16)
+	if span == 0 {
+		t.Fatal("span id must be nonzero")
+	}
+	tr.Mark(span, 100, 150, LayerZNS, PhaseBus, 0, 3, 1)
+	tr.SpanEnd(span, 200, false)
+	tr.Event(200, LayerZNS, EvZoneState, 0, 3, 1, 4, 0)
+	recs := tr.Records()
+	if len(recs) != 4 {
+		t.Fatalf("records = %d, want 4", len(recs))
+	}
+	if recs[0].Kind != RecSpanBegin || recs[1].Kind != RecMark ||
+		recs[2].Kind != RecSpanEnd || recs[3].Kind != RecEvent {
+		t.Fatalf("record kinds = %v %v %v %v", recs[0].Kind, recs[1].Kind, recs[2].Kind, recs[3].Kind)
+	}
+}
+
+func TestRingDropsOldest(t *testing.T) {
+	tr := New(Config{Capacity: 8})
+	for i := 0; i < 20; i++ {
+		tr.Event(int64(i), LayerZNS, EvZoneReset, 0, i, 0, 0, 0)
+	}
+	if tr.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", tr.Len())
+	}
+	if tr.Dropped() != 12 {
+		t.Fatalf("Dropped = %d, want 12", tr.Dropped())
+	}
+	recs := tr.Records()
+	if recs[0].TS != 12 || recs[len(recs)-1].TS != 19 {
+		t.Fatalf("ring window = [%d, %d], want [12, 19]", recs[0].TS, recs[len(recs)-1].TS)
+	}
+}
+
+func TestSamplingKeepsEventsDropsSpans(t *testing.T) {
+	tr := New(Config{SampleN: 4})
+	var kept int
+	for i := 0; i < 16; i++ {
+		if span := tr.SpanBegin(int64(i), LayerNVMe, OpWrite, 0, 0, 0, 1); span != 0 {
+			kept++
+			tr.SpanEnd(span, int64(i)+1, false)
+		}
+		tr.Event(int64(i), LayerZNS, EvZoneReset, 0, i, 0, 0, 0)
+	}
+	if kept != 4 {
+		t.Fatalf("sampled spans = %d, want 4 of 16", kept)
+	}
+	var events int
+	for _, r := range tr.Records() {
+		if r.Kind == RecEvent {
+			events++
+		}
+	}
+	if events != 16 {
+		t.Fatalf("events = %d, want all 16 (never sampled)", events)
+	}
+}
+
+func TestProbeStats(t *testing.T) {
+	tr := New(Config{})
+	qd := ProbeKey(ProbeQueueDepth, 0, 0)
+	busy := ProbeKey(ProbeChanWriteBusy, 1, 2)
+	tr.Counter(10, qd, 3)
+	tr.Counter(20, qd, 7) // gauge: max wins
+	tr.Counter(30, qd, 5)
+	tr.Counter(30, busy, 1000) // counter: last wins
+	st := tr.ProbeStats()
+	if len(st) != 2 {
+		t.Fatalf("probes = %d, want 2", len(st))
+	}
+	byName := map[string]float64{}
+	for _, p := range st {
+		byName[p.Name] = p.Value
+	}
+	if byName["qd/dev0"] != 7 {
+		t.Fatalf("gauge = %v, want max 7 (%v)", byName["qd/dev0"], st)
+	}
+	if byName["chan_write_busy_ns/dev1/ch2"] != 1000 {
+		t.Fatalf("counter = %v, want 1000 (%v)", byName["chan_write_busy_ns/dev1/ch2"], st)
+	}
+}
+
+func TestFinalizeIdempotent(t *testing.T) {
+	tr := New(Config{})
+	calls := 0
+	tr.OnFinalize(func() { calls++ })
+	tr.Finalize()
+	tr.Finalize()
+	if calls != 1 {
+		t.Fatalf("finalize hooks ran %d times, want 1", calls)
+	}
+}
+
+// buildSample constructs a small trace exercising every record kind.
+func buildSample() *Trace {
+	tr := New(Config{})
+	tr.SetName("test/0/BIZA")
+	span := tr.SpanBegin(1000, LayerNVMe, OpWrite, 0, 2, 128, 16)
+	tr.Mark(span, 1000, 1500, LayerZNS, PhaseXfer, 0, 2, -1)
+	tr.Segment(1500, 2500, LayerZNS, SegProgramDie, 0, 2, 1, 16)
+	tr.Event(2500, LayerZNS, EvZRWACommit, 0, 2, 64, 16, CommitImplicit)
+	tr.Counter(2500, ProbeKey(ProbeOpenZones, 0, 0), 3)
+	tr.SpanEnd(span, 3000, false)
+	tr.Finalize()
+	return tr
+}
+
+func TestPerfettoWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, []*Trace{buildSample()}); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	phases := map[string]int{}
+	for _, ev := range evs {
+		phases[ev["ph"].(string)]++
+	}
+	for _, want := range []string{"M", "b", "e", "X", "i", "C"} {
+		if phases[want] == 0 {
+			t.Fatalf("no %q events in output (got %v)", want, phases)
+		}
+	}
+}
+
+func TestJSONLWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, []*Trace{buildSample()}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 7 { // meta + 6 records
+		t.Fatalf("lines = %d, want 7:\n%s", len(lines), buf.String())
+	}
+	for i, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("line %d invalid: %v: %s", i+1, err, ln)
+		}
+	}
+}
+
+func TestExplainBothFormats(t *testing.T) {
+	for _, format := range []struct {
+		name  string
+		write func(*bytes.Buffer) error
+	}{
+		{"perfetto", func(b *bytes.Buffer) error { return WritePerfetto(b, []*Trace{buildSample()}) }},
+		{"jsonl", func(b *bytes.Buffer) error { return WriteJSONL(b, []*Trace{buildSample()}) }},
+	} {
+		var buf bytes.Buffer
+		if err := format.write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := Explain(&buf, &out, 5); err != nil {
+			t.Fatalf("%s: %v", format.name, err)
+		}
+		report := out.String()
+		for _, want := range []string{"test/0/BIZA", "nvme write", "zrwa-commit/implicit", "open_zones/dev0"} {
+			if !strings.Contains(report, want) {
+				t.Errorf("%s explain output missing %q:\n%s", format.name, want, report)
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"biza/internal/erasure"
 	"biza/internal/metrics"
 	"biza/internal/nvme"
+	"biza/internal/obs"
 	"biza/internal/raid"
 	"biza/internal/sim"
 	"biza/internal/zns"
@@ -68,10 +69,16 @@ type Array struct {
 	userBytes   uint64
 	parityBytes uint64
 	metaBytes   uint64
+
+	tr *obs.Trace
 }
 
 // SetAccountant wires CPU-cost attribution (Fig. 17); nil disables it.
 func (a *Array) SetAccountant(acct *cpumodel.Accountant) { a.acct = acct }
+
+// SetTracer attaches an observability trace: array-level spans cover each
+// zone Write/Read end to end.
+func (a *Array) SetTracer(tr *obs.Trace) { a.tr = tr }
 
 func (a *Array) charge(d sim.Time) {
 	if a.acct != nil {
@@ -206,6 +213,16 @@ func (a *Array) Write(z int, lba int64, nblocks int, data []byte, tag zns.WriteT
 	}
 	a.wp[z] += n
 	a.userBytes += uint64(n) * uint64(a.blockSize)
+	if a.tr != nil {
+		span := a.tr.SpanBegin(int64(start), obs.LayerRAIZN, obs.OpWrite, -1, z, lba, n)
+		innerDone := done
+		done = func(r zns.WriteResult) {
+			a.tr.SpanEnd(span, int64(a.eng.Now()), r.Err != nil)
+			if innerDone != nil {
+				innerDone(r)
+			}
+		}
+	}
 	a.charge(cpumodel.CostSchedule + cpumodel.CostMapUpdate*sim.Time(n))
 	if a.acct != nil {
 		a.acct.ChargeParity(cpumodel.CompRAIZN, n*int64(a.blockSize))
@@ -355,6 +372,16 @@ func (a *Array) Read(z int, lba int64, nblocks int, done func(zns.ReadResult)) {
 	if nblocks <= 0 || lba < 0 || lba+n > a.ZoneBlocks() {
 		fail(zns.ErrBadRange)
 		return
+	}
+	if a.tr != nil {
+		span := a.tr.SpanBegin(int64(start), obs.LayerRAIZN, obs.OpRead, -1, z, lba, n)
+		innerDone := done
+		done = func(r zns.ReadResult) {
+			a.tr.SpanEnd(span, int64(a.eng.Now()), r.Err != nil)
+			if innerDone != nil {
+				innerDone(r)
+			}
+		}
 	}
 	k := int64(a.dataDisks())
 	bs := int64(a.blockSize)

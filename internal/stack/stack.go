@@ -16,6 +16,7 @@ import (
 	"biza/internal/mdraid"
 	"biza/internal/metrics"
 	"biza/internal/nvme"
+	"biza/internal/obs"
 	"biza/internal/raizn"
 	"biza/internal/sim"
 	"biza/internal/zapraid"
@@ -60,6 +61,13 @@ type Options struct {
 	MdraidConfig *mdraid.Config
 	// ReorderWindow for the driver queues (default 5us).
 	ReorderWindow sim.Time
+
+	// Trace, when non-nil, instruments every layer of the platform: driver
+	// queues and devices record per-I/O spans and zone events, the array
+	// engine records array-level spans, and a finalizer snapshots
+	// per-channel busy time into counter probes. Nil costs one pointer
+	// check per hot-path call.
+	Trace *obs.Trace
 }
 
 // BenchZNS returns the scaled ZN540 geometry the experiments run on:
@@ -136,11 +144,15 @@ func NewOn(eng *sim.Engine, kind Kind, opts Options) (*Platform, error) {
 				return nil, err
 			}
 			p.ZNSDevs = append(p.ZNSDevs, d)
-			queues = append(queues, nvme.New(d, nvme.Config{
+			q := nvme.New(d, nvme.Config{
 				ReorderWindow: opts.ReorderWindow,
 				ZoneOrdered:   zoneOrdered,
 				Seed:          opts.Seed + uint64(i) + 1000,
-			}))
+			})
+			if opts.Trace != nil {
+				q.SetTracer(opts.Trace, i)
+			}
+			queues = append(queues, q)
 		}
 		return queues, nil
 	}
@@ -165,6 +177,9 @@ func NewOn(eng *sim.Engine, kind Kind, opts Options) (*Platform, error) {
 		if err != nil {
 			return nil, err
 		}
+		if opts.Trace != nil {
+			c.SetTracer(opts.Trace)
+		}
 		p.BIZA = c
 		p.Dev = c
 		wa := c.WriteAmp
@@ -180,6 +195,9 @@ func NewOn(eng *sim.Engine, kind Kind, opts Options) (*Platform, error) {
 			return nil, err
 		}
 		r.SetAccountant(p.Acct)
+		if opts.Trace != nil {
+			r.SetTracer(opts.Trace)
+		}
 		p.RAIZN = r
 		if kind == KindRAIZN {
 			sd := &seqZoneDevice{a: r}
@@ -209,6 +227,9 @@ func NewOn(eng *sim.Engine, kind Kind, opts Options) (*Platform, error) {
 				ReorderWindow: opts.ReorderWindow,
 				Seed:          opts.Seed + uint64(i) + 1000,
 			})
+			if opts.Trace != nil {
+				q.SetTracer(opts.Trace, i)
+			}
 			ad, err := dmzap.New(zoneapi.SingleDevice{Q: q},
 				dmzap.DefaultConfig(dc.NumZones, dc.MaxOpenZones), p.Acct)
 			if err != nil {
@@ -242,6 +263,9 @@ func NewOn(eng *sim.Engine, kind Kind, opts Options) (*Platform, error) {
 		if err != nil {
 			return nil, err
 		}
+		if opts.Trace != nil {
+			z.SetTracer(opts.Trace)
+		}
 		p.Dev = z
 		waZ := z.WriteAmp
 		p.userBytes = func() uint64 { return waZ().UserBytes }
@@ -256,6 +280,9 @@ func NewOn(eng *sim.Engine, kind Kind, opts Options) (*Platform, error) {
 				return nil, err
 			}
 			p.FTLDevs = append(p.FTLDevs, d)
+			if opts.Trace != nil {
+				d.SetTracer(opts.Trace, i)
+			}
 			members = append(members, d)
 		}
 		mcfg := mdraid.DefaultConfig()
@@ -276,6 +303,27 @@ func NewOn(eng *sim.Engine, kind Kind, opts Options) (*Platform, error) {
 
 	default:
 		return nil, fmt.Errorf("stack: unknown platform %q", kind)
+	}
+	if tr := opts.Trace; tr != nil {
+		// Snapshot cumulative device telemetry when the run finalizes:
+		// per-channel busy time (the contention ground truth) and the
+		// closing open-zone counts.
+		tr.OnFinalize(func() {
+			now := int64(eng.Now())
+			for i, d := range p.ZNSDevs {
+				for ch := 0; ch < d.NumChannels(); ch++ {
+					tr.Counter(now, obs.ProbeKey(obs.ProbeChanWriteBusy, i, ch), int64(d.ChannelWriteBusy(ch)))
+					tr.Counter(now, obs.ProbeKey(obs.ProbeChanReadBusy, i, ch), int64(d.ChannelReadBusy(ch)))
+				}
+				tr.Counter(now, obs.ProbeKey(obs.ProbeOpenZones, i, 0), int64(d.OpenZones()))
+			}
+			for i, d := range p.FTLDevs {
+				for ch := 0; ch < d.Config().NumChannels; ch++ {
+					tr.Counter(now, obs.ProbeKey(obs.ProbeChanWriteBusy, i, ch), int64(d.ChannelWriteBusy(ch)))
+					tr.Counter(now, obs.ProbeKey(obs.ProbeChanReadBusy, i, ch), int64(d.ChannelReadBusy(ch)))
+				}
+			}
+		})
 	}
 	return p, nil
 }

@@ -15,6 +15,7 @@ import (
 	"biza/internal/erasure"
 	"biza/internal/metrics"
 	"biza/internal/nvme"
+	"biza/internal/obs"
 	"biza/internal/sim"
 	"biza/internal/zns"
 )
@@ -94,7 +95,14 @@ type Array struct {
 	gcMigrated  uint64
 	gcEvents    uint64
 	stalled     []func()
+
+	tr *obs.Trace
 }
+
+// SetTracer attaches an observability trace: array-level spans cover each
+// block-interface Write/Read end to end, and GC victim selections are
+// logged as typed events.
+func (a *Array) SetTracer(tr *obs.Trace) { a.tr = tr }
 
 // New builds the array over member queues (ZNS devices, no ZRWA use).
 func New(queues []*nvme.Queue, cfg Config) (*Array, error) {
@@ -217,6 +225,16 @@ func (a *Array) Write(lba int64, nblocks int, data []byte, done func(blockdev.Wr
 	}
 	bs := int64(a.blockSize)
 	a.userBytes += uint64(nblocks) * uint64(bs)
+	if a.tr != nil {
+		span := a.tr.SpanBegin(int64(start), obs.LayerZapRAID, obs.OpWrite, -1, -1, lba, int64(nblocks))
+		innerDone := done
+		done = func(r blockdev.WriteResult) {
+			a.tr.SpanEnd(span, int64(a.eng.Now()), r.Err != nil)
+			if innerDone != nil {
+				innerDone(r)
+			}
+		}
+	}
 	remaining := nblocks
 	var firstErr error
 	for i := 0; i < nblocks; i++ {
@@ -335,6 +353,16 @@ func (a *Array) Read(lba int64, nblocks int, done func(blockdev.ReadResult)) {
 		}
 		return
 	}
+	if a.tr != nil {
+		span := a.tr.SpanBegin(int64(start), obs.LayerZapRAID, obs.OpRead, -1, -1, lba, int64(nblocks))
+		innerDone := done
+		done = func(r blockdev.ReadResult) {
+			a.tr.SpanEnd(span, int64(a.eng.Now()), r.Err != nil)
+			if innerDone != nil {
+				innerDone(r)
+			}
+		}
+	}
 	bs := int64(a.blockSize)
 	buf := make([]byte, int64(nblocks)*bs)
 	remaining := 0
@@ -437,6 +465,17 @@ func (a *Array) gcStep(ds *devState) {
 	ds.full = append(ds.full[:vi], ds.full[vi+1:]...)
 	zs := ds.zones[victim]
 	a.gcEvents++
+	if a.tr != nil {
+		dev := -1
+		for i, d := range a.devs {
+			if d == ds {
+				dev = i
+				break
+			}
+		}
+		a.tr.Event(int64(a.eng.Now()), obs.LayerZapRAID, obs.EvGCVictim, dev, victim,
+			zs.valid, int64(len(ds.free)), 0)
+	}
 	var live []int64
 	for off := int64(0); off < a.zoneBlocks; off++ {
 		if l := zs.rmap[off]; l >= 0 {

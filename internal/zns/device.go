@@ -3,6 +3,7 @@ package zns
 import (
 	"fmt"
 
+	"biza/internal/obs"
 	"biza/internal/sim"
 )
 
@@ -132,6 +133,7 @@ type waiter struct {
 }
 
 type zone struct {
+	idx        int
 	state      ZoneState
 	zrwa       bool  // opened with ZRWA
 	wp         int64 // committed boundary in blocks; ZRWA window starts here
@@ -168,6 +170,16 @@ type Device struct {
 	activeCount int
 
 	stats FlashStats
+
+	tr    *obs.Trace
+	trDev int
+	// spanHint carries the caller's span id into the next data-path command
+	// (the driver queue sets it just before delivering a command; the
+	// simulation is single-goroutine, so it is consumed immediately).
+	// hintValid distinguishes "caller traced but sampled out" (hint 0, no
+	// device-owned span either) from "caller untraced".
+	spanHint  obs.SpanID
+	hintValid bool
 }
 
 // New creates a device. The zone-to-channel map is fixed at creation:
@@ -202,9 +214,65 @@ func New(eng *sim.Engine, cfg Config) (*Device, error) {
 		if cfg.ShuffleFraction > 0 && rng.Float64() < cfg.ShuffleFraction {
 			ch = rng.Intn(cfg.NumChannels)
 		}
-		d.zones[i] = &zone{channel: ch}
+		d.zones[i] = &zone{idx: i, channel: ch}
 	}
 	return d, nil
+}
+
+// SetTracer attaches an observability trace; dev labels this device in the
+// trace. Passing nil detaches.
+func (d *Device) SetTracer(tr *obs.Trace, dev int) {
+	d.tr = tr
+	d.trDev = dev
+}
+
+// TraceSpan hints the span id the next data-path command (Write, Read,
+// Append) should attach its service marks to. Drivers that own the
+// lifecycle span call this immediately before delivering the command.
+func (d *Device) TraceSpan(id obs.SpanID) {
+	d.spanHint = id
+	d.hintValid = true
+}
+
+// takeHint consumes the pending span hint.
+func (d *Device) takeHint() (obs.SpanID, bool) {
+	id, ok := d.spanHint, d.hintValid
+	d.spanHint, d.hintValid = 0, false
+	return id, ok
+}
+
+// traceState records a zone state transition event.
+func (d *Device) traceState(zn *zone, old, next ZoneState) {
+	if d.tr == nil || old == next {
+		return
+	}
+	d.tr.Event(int64(d.eng.Now()), obs.LayerZNS, obs.EvZoneState, d.trDev, zn.idx,
+		int64(old), int64(next), 0)
+}
+
+// traceOpenCount samples the open-zone gauge.
+func (d *Device) traceOpenCount() {
+	if d.tr == nil {
+		return
+	}
+	d.tr.Counter(int64(d.eng.Now()), obs.ProbeKey(obs.ProbeOpenZones, d.trDev, 0), int64(d.openCount))
+}
+
+// ChannelWriteBusy reports cumulative busy time of channel ch's program
+// bus (observability finalizers snapshot it into counter probes).
+func (d *Device) ChannelWriteBusy(ch int) sim.Time {
+	if ch < 0 || ch >= len(d.chans) {
+		return 0
+	}
+	return d.chans[ch].writeBus.BusyTime()
+}
+
+// ChannelReadBusy reports cumulative busy time of channel ch's read bus.
+func (d *Device) ChannelReadBusy(ch int) sim.Time {
+	if ch < 0 || ch >= len(d.chans) {
+		return 0
+	}
+	return d.chans[ch].readBus.BusyTime()
 }
 
 // Config returns the device configuration.
@@ -301,9 +369,11 @@ func (d *Device) Open(z int, withZRWA bool) error {
 	if withZRWA && d.cfg.ZRWABlocks == 0 {
 		return ErrZRWANotSupported
 	}
+	prev := zn.state
 	switch zn.state {
 	case ZoneExplicitOpen, ZoneImplicitOpen:
 		zn.state = ZoneExplicitOpen
+		d.traceState(zn, prev, ZoneExplicitOpen)
 		return nil
 	case ZoneFull, ZoneReadOnly:
 		return ErrWrongState
@@ -326,6 +396,8 @@ func (d *Device) Open(z int, withZRWA bool) error {
 		d.openCount++
 	}
 	zn.state = ZoneExplicitOpen
+	d.traceState(zn, prev, ZoneExplicitOpen)
+	d.traceOpenCount()
 	zn.zrwa = withZRWA
 	if withZRWA {
 		// Buffer credit equals the window: a block entering the ZRWA must
@@ -354,11 +426,14 @@ func (d *Device) Close(z int) error {
 		return ErrWrongState
 	}
 	if zn.zrwa {
-		d.commitRange(zn, zn.maxDirty()+1)
+		d.commitRange(zn, zn.maxDirty()+1, obs.CommitClose)
 		zn.zrwa = false
 	}
+	prev := zn.state
 	zn.state = ZoneClosed
 	d.openCount--
+	d.traceState(zn, prev, ZoneClosed)
+	d.traceOpenCount()
 	return nil
 }
 
@@ -380,7 +455,7 @@ func (d *Device) Finish(z int) error {
 	}
 	wasOpen := zn.state.IsOpen()
 	if zn.zrwa {
-		d.commitRange(zn, d.cfg.ZoneBlocks)
+		d.commitRange(zn, d.cfg.ZoneBlocks, obs.CommitFinish)
 		zn.zrwa = false
 	}
 	// Active = open + closed; a finished zone stops counting against the
@@ -388,11 +463,14 @@ func (d *Device) Finish(z int) error {
 	if wasOpen || zn.state == ZoneClosed {
 		d.activeCount--
 	}
+	prev := zn.state
 	zn.state = ZoneFull
 	zn.wp = d.cfg.ZoneBlocks
 	if wasOpen {
 		d.openCount--
 	}
+	d.traceState(zn, prev, ZoneFull)
+	d.traceOpenCount()
 	return nil
 }
 
@@ -410,7 +488,7 @@ func (d *Device) CommitZRWA(z int, upTo int64) error {
 	if upTo < zn.wp || upTo > zn.wp+d.cfg.ZRWABlocks || upTo > d.cfg.ZoneBlocks {
 		return ErrBadRange
 	}
-	d.commitRange(zn, upTo)
+	d.commitRange(zn, upTo, obs.CommitExplicit)
 	return nil
 }
 
@@ -435,6 +513,7 @@ func (d *Device) Reset(z int, done func(error)) {
 	if zn.state.IsOpen() || zn.state == ZoneClosed {
 		d.activeCount--
 	}
+	prev := zn.state
 	zn.state = ZoneEmpty
 	zn.zrwa = false
 	zn.wp = 0
@@ -446,11 +525,19 @@ func (d *Device) Reset(z int, done func(error)) {
 	zn.oob = nil
 	zn.eraseCount++
 	d.stats.Erases++
+	d.traceState(zn, prev, ZoneEmpty)
+	d.traceOpenCount()
+	if d.tr != nil {
+		d.tr.Event(int64(d.eng.Now()), obs.LayerZNS, obs.EvZoneReset, d.trDev, zn.idx,
+			int64(zn.eraseCount), 0, 0)
+	}
 	// Erase busies every die on the channel.
 	ch := d.chans[zn.channel]
+	chIdx := zn.channel
 	remaining := d.cfg.DiesPerChannel
 	for i := 0; i < d.cfg.DiesPerChannel; i++ {
-		ch.dies.Submit(d.cfg.ResetLatency, func(_, _ sim.Time) {
+		ch.dies.Submit(d.cfg.ResetLatency, func(s, e sim.Time) {
+			d.tr.Segment(int64(s), int64(e), obs.LayerZNS, obs.SegErase, d.trDev, zn.idx, chIdx, 0)
 			remaining--
 			if remaining == 0 && done != nil {
 				done(nil)
@@ -471,12 +558,17 @@ func (zn *zone) maxDirty() int64 {
 
 // commitRange advances the committed boundary to upTo and schedules flash
 // programs for dirty blocks in [old wp, upTo), batching contiguous runs.
-func (d *Device) commitRange(zn *zone, upTo int64) {
+// reason tags the observability event (implicit/explicit/close/finish).
+func (d *Device) commitRange(zn *zone, upTo int64, reason uint8) {
 	if upTo > d.cfg.ZoneBlocks {
 		upTo = d.cfg.ZoneBlocks
 	}
 	if upTo <= zn.wp {
 		return
+	}
+	if d.tr != nil {
+		d.tr.Event(int64(d.eng.Now()), obs.LayerZNS, obs.EvZRWACommit, d.trDev, zn.idx,
+			upTo, upTo-zn.wp, reason)
 	}
 	var runStart int64 = -1
 	var run []*bufBlock
@@ -516,10 +608,14 @@ func (d *Device) commitRange(zn *zone, upTo int64) {
 func (d *Device) program(zn *zone, start int64, blocks []*bufBlock) {
 	size := int64(len(blocks)) * int64(d.cfg.BlockSize)
 	ch := d.chans[zn.channel]
+	chIdx := zn.channel
+	nblk := len(blocks)
 	busTime := size * sim.Second / d.cfg.ChannelWriteBW
 	dieTime := size * sim.Second / d.cfg.DieWriteBW
-	ch.writeBus.Submit(busTime, func(_, _ sim.Time) {
-		ch.dies.Submit(dieTime, func(_, _ sim.Time) {
+	ch.writeBus.Submit(busTime, func(s, e sim.Time) {
+		d.tr.Segment(int64(s), int64(e), obs.LayerZNS, obs.SegProgramBus, d.trDev, zn.idx, chIdx, nblk)
+		ch.dies.Submit(dieTime, func(s, e sim.Time) {
+			d.tr.Segment(int64(s), int64(e), obs.LayerZNS, obs.SegProgramDie, d.trDev, zn.idx, chIdx, nblk)
 			for i, bb := range blocks {
 				b := start + int64(i)
 				delete(zn.pending, b)
@@ -590,6 +686,7 @@ func (d *Device) failWrite(done func(WriteResult), err error) {
 // commands, which is what makes kernel-level reordering dangerous (§3.2).
 func (d *Device) Write(z int, lba int64, nblocks int, data []byte, oob [][]byte, tag WriteTag, done func(WriteResult)) {
 	start := d.eng.Now()
+	span, hinted := d.takeHint()
 	zn, err := d.zoneArg(z)
 	if err != nil {
 		d.failWrite(done, err)
@@ -622,8 +719,22 @@ func (d *Device) Write(z int, lba int64, nblocks int, data []byte, oob [][]byte,
 		if zn.state == ZoneEmpty {
 			d.activeCount++
 		}
+		prev := zn.state
 		zn.state = ZoneImplicitOpen
 		d.openCount++
+		d.traceState(zn, prev, ZoneImplicitOpen)
+		d.traceOpenCount()
+	}
+	// A device with no traced driver above it owns the span itself.
+	if !hinted && d.tr != nil {
+		span = d.tr.SpanBegin(int64(start), obs.LayerZNS, obs.OpWrite, d.trDev, z, lba, n)
+		innerDone := done
+		done = func(r WriteResult) {
+			d.tr.SpanEnd(span, int64(d.eng.Now()), r.Err != nil)
+			if innerDone != nil {
+				innerDone(r)
+			}
+		}
 	}
 
 	size := n * int64(d.cfg.BlockSize)
@@ -640,15 +751,22 @@ func (d *Device) Write(z int, lba int64, nblocks int, data []byte, oob [][]byte,
 		if zn.wp == d.cfg.ZoneBlocks {
 			// Last sequential write fills the zone: full; its open and
 			// active slots are both freed.
+			prev := zn.state
 			zn.state = ZoneFull
 			d.openCount--
 			d.activeCount--
+			d.traceState(zn, prev, ZoneFull)
+			d.traceOpenCount()
 		}
 		ch := d.chans[zn.channel]
+		chIdx := zn.channel
 		d.controller.Submit(d.cfg.CmdOverhead, func(_, _ sim.Time) {
-			d.writeLink.Submit(size*sim.Second/d.cfg.DeviceWriteBW, func(_, _ sim.Time) {
-				ch.writeBus.Submit(size*sim.Second/d.cfg.ChannelWriteBW, func(_, _ sim.Time) {
-					ch.dies.Submit(size*sim.Second/d.cfg.DieWriteBW, func(_, _ sim.Time) {
+			d.writeLink.Submit(size*sim.Second/d.cfg.DeviceWriteBW, func(s, e sim.Time) {
+				d.tr.Mark(span, int64(s), int64(e), obs.LayerZNS, obs.PhaseXfer, d.trDev, z, -1)
+				ch.writeBus.Submit(size*sim.Second/d.cfg.ChannelWriteBW, func(s, e sim.Time) {
+					d.tr.Mark(span, int64(s), int64(e), obs.LayerZNS, obs.PhaseBus, d.trDev, z, chIdx)
+					ch.dies.Submit(size*sim.Second/d.cfg.DieWriteBW, func(s, e sim.Time) {
+						d.tr.Mark(span, int64(s), int64(e), obs.LayerZNS, obs.PhaseDie, d.trDev, z, chIdx)
 						if d.cfg.StoreData {
 							d.storeDirect(zn, lba, nblocks, data, oob)
 						}
@@ -674,7 +792,7 @@ func (d *Device) Write(z int, lba int64, nblocks int, data []byte, oob [][]byte,
 	}
 	if end := lba + n; end > zn.wp+d.cfg.ZRWABlocks {
 		// Implicit commit: shift the window right so the write fits.
-		d.commitRange(zn, end-d.cfg.ZRWABlocks)
+		d.commitRange(zn, end-d.cfg.ZRWABlocks, obs.CommitImplicit)
 	}
 	// Count slots needed (first-touch blocks only) at validation time so
 	// concurrent in-flight writes see consistent dirty state.
@@ -709,8 +827,11 @@ func (d *Device) Write(z int, lba int64, nblocks int, data []byte, oob [][]byte,
 	}
 	d.controller.Submit(d.cfg.CmdOverhead, func(_, _ sim.Time) {
 		d.acquireCredit(zn, need, func() {
-			d.writeLink.Submit(size*sim.Second/d.cfg.DeviceWriteBW, func(_, _ sim.Time) {
+			d.writeLink.Submit(size*sim.Second/d.cfg.DeviceWriteBW, func(s, e sim.Time) {
+				d.tr.Mark(span, int64(s), int64(e), obs.LayerZNS, obs.PhaseXfer, d.trDev, z, -1)
+				bufStart := d.eng.Now()
 				d.eng.After(d.cfg.BufWriteLatency, func() {
+					d.tr.Mark(span, int64(bufStart), int64(d.eng.Now()), obs.LayerZNS, obs.PhaseBuffer, d.trDev, z, -1)
 					if done != nil {
 						done(WriteResult{Latency: d.eng.Now() - start})
 					}
@@ -742,6 +863,9 @@ func (d *Device) storeDirect(zn *zone, lba int64, nblocks int, data []byte, oob 
 // ZRWA (NVMe makes the features mutually exclusive).
 func (d *Device) Append(z int, nblocks int, data []byte, oob [][]byte, tag WriteTag, done func(AppendResult)) {
 	start := d.eng.Now()
+	// Consume the caller's span hint now so failed validation cannot leave
+	// it armed for an unrelated command; re-arm it for the inner Write.
+	span, hinted := d.takeHint()
 	fail := func(err error) {
 		if done == nil {
 			return
@@ -764,6 +888,9 @@ func (d *Device) Append(z int, nblocks int, data []byte, oob [][]byte, tag Write
 		return
 	}
 	lba := zn.wp
+	if hinted {
+		d.TraceSpan(span)
+	}
 	d.Write(z, lba, nblocks, data, oob, tag, func(r WriteResult) {
 		if done != nil {
 			done(AppendResult{Err: r.Err, LBA: lba, Latency: r.Latency})
@@ -777,6 +904,7 @@ func (d *Device) Append(z int, nblocks int, data []byte, oob [][]byte, tag Write
 // with GC traffic on that channel).
 func (d *Device) Read(z int, lba int64, nblocks int, done func(ReadResult)) {
 	start := d.eng.Now()
+	span, hinted := d.takeHint()
 	fail := func(err error) {
 		if done == nil {
 			return
@@ -797,6 +925,16 @@ func (d *Device) Read(z int, lba int64, nblocks int, done func(ReadResult)) {
 	}
 	size := n * int64(d.cfg.BlockSize)
 	d.stats.ReadBytes += uint64(size)
+	if !hinted && d.tr != nil {
+		span = d.tr.SpanBegin(int64(start), obs.LayerZNS, obs.OpRead, d.trDev, z, lba, n)
+		innerDone := done
+		done = func(r ReadResult) {
+			d.tr.SpanEnd(span, int64(d.eng.Now()), r.Err != nil)
+			if innerDone != nil {
+				innerDone(r)
+			}
+		}
+	}
 
 	inBuffer := true
 	for i := int64(0); i < n; i++ {
@@ -850,17 +988,24 @@ func (d *Device) Read(z int, lba int64, nblocks int, done func(ReadResult)) {
 
 	d.controller.Submit(d.cfg.CmdOverhead, func(_, _ sim.Time) {
 		if inBuffer {
+			bufStart := d.eng.Now()
 			d.eng.After(d.cfg.BufReadLatency, func() {
-				d.readLink.Submit(size*sim.Second/d.cfg.DeviceReadBW, func(_, _ sim.Time) {
+				d.tr.Mark(span, int64(bufStart), int64(d.eng.Now()), obs.LayerZNS, obs.PhaseBuffer, d.trDev, z, -1)
+				d.readLink.Submit(size*sim.Second/d.cfg.DeviceReadBW, func(s, e sim.Time) {
+					d.tr.Mark(span, int64(s), int64(e), obs.LayerZNS, obs.PhaseXfer, d.trDev, z, -1)
 					finish()
 				})
 			})
 			return
 		}
 		ch := d.chans[zn.channel]
-		ch.readBus.Submit(size*sim.Second/d.cfg.ChannelReadBW, func(_, _ sim.Time) {
-			ch.dies.Submit(d.cfg.DieReadLatency+size*sim.Second/d.cfg.DieReadBW, func(_, _ sim.Time) {
-				d.readLink.Submit(size*sim.Second/d.cfg.DeviceReadBW, func(_, _ sim.Time) {
+		chIdx := zn.channel
+		ch.readBus.Submit(size*sim.Second/d.cfg.ChannelReadBW, func(s, e sim.Time) {
+			d.tr.Mark(span, int64(s), int64(e), obs.LayerZNS, obs.PhaseBus, d.trDev, z, chIdx)
+			ch.dies.Submit(d.cfg.DieReadLatency+size*sim.Second/d.cfg.DieReadBW, func(s, e sim.Time) {
+				d.tr.Mark(span, int64(s), int64(e), obs.LayerZNS, obs.PhaseDie, d.trDev, z, chIdx)
+				d.readLink.Submit(size*sim.Second/d.cfg.DeviceReadBW, func(s, e sim.Time) {
+					d.tr.Mark(span, int64(s), int64(e), obs.LayerZNS, obs.PhaseXfer, d.trDev, z, -1)
 					finish()
 				})
 			})
@@ -880,7 +1025,10 @@ func (d *Device) SetOffline(z int) error {
 	if zn.state.IsOpen() || zn.state == ZoneClosed {
 		d.activeCount--
 	}
+	prev := zn.state
 	zn.state = ZoneOffline
+	d.traceState(zn, prev, ZoneOffline)
+	d.traceOpenCount()
 	return nil
 }
 

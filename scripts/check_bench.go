@@ -9,7 +9,9 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
+	"strings"
 
 	"biza/internal/bench"
 )
@@ -47,10 +49,34 @@ func main() {
 		}
 		// Every metric column of every table must have at least one
 		// sample: an all-dash or unparseable column means the experiment
-		// silently stopped reporting that metric.
+		// silently stopped reporting that metric. No sample may be
+		// non-finite — a NaN/Inf means a zero-sample run leaked through a
+		// division somewhere upstream.
 		byMetric := map[string]int{}
 		for _, s := range res.Samples {
+			if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+				fail("experiment %s: non-finite sample %s = %v",
+					res.Experiment, s.SampleKey(), s.Value)
+			}
 			byMetric[s.Table+"/"+s.Metric]++
+		}
+		// Table cells render through fmt: a "NaN"/"Inf" cell is the
+		// stringified form of the same bug (parseCell drops it from the
+		// samples, so the byMetric check alone can miss it).
+		for _, tab := range res.Tables {
+			for _, row := range tab.Rows {
+				for ci, cell := range row {
+					if strings.Contains(cell, "NaN") || strings.Contains(cell, "Inf") {
+						fail("experiment %s: table %s row %q has non-finite cell %q (col %d)",
+							res.Experiment, tab.ID, row[0], cell, ci)
+					}
+				}
+			}
+		}
+		for _, h := range res.Histograms {
+			if math.IsNaN(h.Summary.Mean) || math.IsInf(h.Summary.Mean, 0) {
+				fail("experiment %s: histogram %s has non-finite mean", res.Experiment, h.Name)
+			}
 		}
 		for _, tab := range res.Tables {
 			lc := tab.LabelCols

@@ -156,6 +156,53 @@ latency-sensitive depth-1 scenario (§5.5).
 """
 
 
+FOOTER = """## Observability walkthrough: where does Fig. 10's time go?
+
+Any experiment can be re-run with the tracer on and its contention
+structure inspected without touching Perfetto's UI. For Fig. 10:
+
+```bash
+go run ./cmd/bizabench -exp fig10 -quick -trace fig10.json
+go run ./cmd/bizatrace explain -top 4 fig10.json
+```
+
+`explain` aggregates each traced platform (one per grid cell): service
+tracks ranked by busy time, I/O span latency per layer, zone/ZRWA/GC
+event counts, and final probe values. The BIZA seq-4K cell opens with:
+
+```
+=== fig10/BIZA/0/BIZA (virtual span 4.056 ms) ===
+  top contention sources (busy time):
+    dev1 zns                     12.295 ms busy  (303.1% of span, 2484 slices)
+    dev0 zns                     12.287 ms busy  (302.9% of span, 2482 slices)
+    dev2 zns                     12.287 ms busy  (302.9% of span, 2482 slices)
+    dev3 zns                     12.287 ms busy  (302.9% of span, 2482 slices)
+  I/O spans:
+    biza write               n=2999     mean latency     43.019 us
+    nvme write               n=4965     mean latency     22.997 us
+  zone/GC events:
+    zone-state               32
+    zrwa-commit/implicit     1843
+  probes (final, nonzero):
+    chan_write_busy_ns/dev0/ch1      915020
+    chan_write_busy_ns/dev1/ch0      915018
+```
+
+Reading it against the paper: the four member devices are uniformly busy
+(~3x the virtual span each — transfer, bus, and die phases overlap, so
+busy time exceeds wall time on a parallel device), which is §4.2's
+channel-aware striping doing its job; every ZRWA flush is an *implicit*
+commit (1843 of them, zero explicit) because BIZA lets the rolling window
+retire writes, §4.4; and the per-channel write-busy probes agree to
+within ~0.001%, confirming no channel is a straggler. The same command on
+the `dmzap+RAIZN` cells shows the serialization the paper blames instead:
+`dev0 ch0` alone is ~94% busy (5x its siblings — the RAIZN metadata
+journal pinned to one channel) while BIZA's channels stay balanced. At
+full scale drop `-quick`; `-trace-sample 16` keeps the artifact small on
+long runs (typed events are never sampled away).
+"""
+
+
 def main(path):
     text = open(path).read()
     blocks = {}
@@ -173,6 +220,7 @@ def main(path):
             out.append("```\n" + blocks[key] + "\n```\n")
         else:
             out.append("_(regenerate with `bizabench -exp %s`)_\n" % key)
+    out.append(FOOTER)
     print("\n".join(out))
 
 
