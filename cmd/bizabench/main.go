@@ -23,13 +23,16 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"biza/internal/bench"
 	"biza/internal/obs"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	exp := flag.String("exp", "all", "experiment id(s), comma-separated (see -list), or 'all'")
 	quick := flag.Bool("quick", false, "reduced scale (seconds instead of minutes)")
 	list := flag.Bool("list", false, "list experiment ids")
@@ -41,11 +44,44 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Perfetto trace_event JSON trace to this file")
 	traceJSONL := flag.String("trace-jsonl", "", "write a compact JSONL trace to this file")
 	traceSample := flag.Int("trace-sample", 1, "trace every Nth I/O span (1 = all; events always kept)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-sweep) to this file")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(bench.IDs(), "\n"))
-		return
+		return 0
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bizabench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bizabench: starting CPU profile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bizabench: %v\n", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "bizabench: writing heap profile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	scale := bench.DefaultScale()
@@ -58,7 +94,7 @@ func main() {
 		for _, id := range ids {
 			if _, ok := bench.Experiments[id]; !ok {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", id, strings.Join(bench.IDs(), " "))
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
@@ -69,29 +105,34 @@ func main() {
 	}
 	rep := runner.Run(ids)
 
-	writeTrace := func(path string, write func(w *os.File, trs []*obs.Trace) error) {
+	writeTrace := func(path string, write func(w *os.File, trs []*obs.Trace) error) bool {
 		f, err := os.Create(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bizabench: %v\n", err)
-			os.Exit(1)
+			return false
 		}
 		if err := write(f, rep.Traces); err == nil {
 			err = f.Close()
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bizabench: writing %s: %v\n", path, err)
-			os.Exit(1)
+			return false
 		}
+		return true
 	}
 	if *tracePath != "" {
-		writeTrace(*tracePath, func(w *os.File, trs []*obs.Trace) error {
+		if !writeTrace(*tracePath, func(w *os.File, trs []*obs.Trace) error {
 			return obs.WritePerfetto(w, trs)
-		})
+		}) {
+			return 1
+		}
 	}
 	if *traceJSONL != "" {
-		writeTrace(*traceJSONL, func(w *os.File, trs []*obs.Trace) error {
+		if !writeTrace(*traceJSONL, func(w *os.File, trs []*obs.Trace) error {
 			return obs.WriteJSONL(w, trs)
-		})
+		}) {
+			return 1
+		}
 	}
 
 	render := func(t *bench.Table) string {
@@ -125,18 +166,19 @@ func main() {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bizabench: encoding results: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		buf = append(buf, '\n')
 		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "bizabench: writing %s: %v\n", *jsonPath, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
 	if failed := rep.Failed(); len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "bizabench: %d experiment(s) failed: %s\n",
 			len(failed), strings.Join(failed, " "))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"testing"
+)
+
+// benchEndToEnd runs one full experiment sweep per iteration and reports
+// simulated virtual nanoseconds advanced per wall-clock second — the
+// simulator's end-to-end throughput metric tracked in BENCH_perf.json.
+func benchEndToEnd(b *testing.B, id string, scale Scale, quick bool) {
+	b.ReportAllocs()
+	var simNs, wallNs int64
+	for i := 0; i < b.N; i++ {
+		rep := (&Runner{Scale: scale, Seed: 42, Parallel: 1, Quick: quick}).Run([]string{id})
+		res := &rep.Results[0]
+		if res.Error != "" {
+			b.Fatalf("%s failed: %s", id, res.Error)
+		}
+		simNs += res.Stats.VirtualNanos
+		wallNs += rep.WallNanos
+	}
+	if wallNs > 0 {
+		b.ReportMetric(float64(simNs)/(float64(wallNs)/1e9), "sim-ns/wall-s")
+	}
+}
+
+// BenchmarkEndToEndFig10 is the headline end-to-end benchmark: the full
+// fig10 sweep (the paper's main performance figure) at default scale.
+func BenchmarkEndToEndFig10(b *testing.B) {
+	benchEndToEnd(b, "fig10", DefaultScale(), false)
+}
+
+// BenchmarkEndToEndFig10Quick runs fig10 at CI-smoke scale; the perf-smoke
+// job tracks this one, so it must stay cheap enough for -count=5.
+func BenchmarkEndToEndFig10Quick(b *testing.B) {
+	benchEndToEnd(b, "fig10", QuickScale(), true)
+}
+
+// BenchmarkEndToEndFig5Quick covers the RAIZN-vs-mdraid comparison path
+// (a different stack composition than fig10) at CI-smoke scale.
+func BenchmarkEndToEndFig5Quick(b *testing.B) {
+	benchEndToEnd(b, "fig5", QuickScale(), true)
+}

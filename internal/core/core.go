@@ -214,6 +214,16 @@ type Core struct {
 	detectCorrects uint64
 
 	tr *obs.Trace
+
+	// Hot-path free lists (see pool.go): single-goroutine recycling of
+	// parity scratch, OOB records, batch payloads, and batch records so
+	// steady-state stripe writes allocate nothing.
+	bufFree   [][]byte
+	oobFree   [][]byte
+	batchFree [][]byte
+	vecFree   [][][]byte
+	opsFree   [][]schedOp
+	abFree    []*appendBatch
 }
 
 // SetTracer attaches an observability trace: array-level spans cover each
@@ -306,6 +316,17 @@ func New(queues []*nvme.Queue, cfg Config, acct *cpumodel.Accountant) (*Core, er
 
 // BlockSize implements blockdev.Device.
 func (c *Core) BlockSize() int { return c.blockSize }
+
+// StoresData implements blockdev.DataStorer: reads return payloads only
+// when every member device retains them.
+func (c *Core) StoresData() bool {
+	for _, ds := range c.devs {
+		if !ds.q.Device().Config().StoreData {
+			return false
+		}
+	}
+	return true
+}
 
 // Blocks implements blockdev.Device: user capacity. Each stripe stores
 // nData data chunks across the array; capacity follows from the per-device

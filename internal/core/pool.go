@@ -1,0 +1,154 @@
+package core
+
+// Hot-path buffer free lists. The simulation is single-goroutine, so plain
+// slices beat sync.Pool here (no per-P locking, no GC-cycle purging) while
+// keeping steady-state stripe writes allocation-free — enforced by the
+// AllocsPerRun gates in pool_test.go. Ownership discipline: a buffer
+// handed to the device layer may be recycled in the write-done callback,
+// because the ZNS model copies payload and OOB bytes into its own pooled
+// scratch at submission (setData/setOOB) or before completion
+// (storeDirect).
+
+// popBuf pops a pooled block-size buffer, or nil when the pool is empty.
+func (c *Core) popBuf() []byte {
+	if n := len(c.bufFree); n > 0 {
+		b := c.bufFree[n-1]
+		c.bufFree = c.bufFree[:n-1]
+		return b
+	}
+	return nil
+}
+
+// getBuf returns a zeroed block-size scratch buffer.
+func (c *Core) getBuf() []byte {
+	if b := c.popBuf(); b != nil {
+		clear(b)
+		return b
+	}
+	return make([]byte, c.blockSize)
+}
+
+// copyBuf returns a pooled block-size buffer holding a copy of src.
+func (c *Core) copyBuf(src []byte) []byte {
+	b := c.popBuf()
+	if b == nil {
+		b = make([]byte, c.blockSize)
+	}
+	copy(b, src)
+	return b
+}
+
+// putBuf recycles a block-size buffer; nil-safe, and tolerant of
+// foreign buffers (read results) as long as they hold a full block.
+func (c *Core) putBuf(b []byte) {
+	if b == nil || cap(b) < c.blockSize {
+		return
+	}
+	c.bufFree = append(c.bufFree, b[:c.blockSize])
+}
+
+// getOOB returns an oobLen record buffer; contents are overwritten by the
+// caller (encodeOOB fills every byte).
+func (c *Core) getOOB() []byte {
+	if n := len(c.oobFree); n > 0 {
+		b := c.oobFree[n-1]
+		c.oobFree = c.oobFree[:n-1]
+		return b
+	}
+	return make([]byte, oobLen)
+}
+
+// putOOB recycles an OOB record; nil-safe.
+func (c *Core) putOOB(b []byte) {
+	if b == nil || cap(b) < oobLen {
+		return
+	}
+	c.oobFree = append(c.oobFree, b[:oobLen])
+}
+
+// getBatch returns a zeroed n-byte coalesced-payload buffer.
+func (c *Core) getBatch(n int) []byte {
+	for i := len(c.batchFree) - 1; i >= 0; i-- {
+		if cap(c.batchFree[i]) >= n {
+			b := c.batchFree[i][:n]
+			last := len(c.batchFree) - 1
+			c.batchFree[i] = c.batchFree[last]
+			c.batchFree = c.batchFree[:last]
+			clear(b)
+			return b
+		}
+	}
+	return make([]byte, n)
+}
+
+// putBatch recycles a coalesced-payload buffer; nil-safe.
+func (c *Core) putBatch(b []byte) {
+	if b == nil {
+		return
+	}
+	c.batchFree = append(c.batchFree, b)
+}
+
+// getVec returns an n-element nil-filled [][]byte (per-batch OOB vectors,
+// parity accumulators, old-parity scratch).
+func (c *Core) getVec(n int) [][]byte {
+	if l := len(c.vecFree); l > 0 {
+		v := c.vecFree[l-1]
+		c.vecFree = c.vecFree[:l-1]
+		if cap(v) >= n {
+			return v[:n]
+		}
+	}
+	return make([][]byte, n)
+}
+
+// putVec recycles a [][]byte vector, dropping its element references so
+// pooled vectors do not pin block buffers; nil-safe.
+func (c *Core) putVec(v [][]byte) {
+	if v == nil {
+		return
+	}
+	for i := range v {
+		v[i] = nil
+	}
+	c.vecFree = append(c.vecFree, v[:0])
+}
+
+// getOps returns an empty schedOp slice with pooled capacity.
+func (c *Core) getOps() []schedOp {
+	if n := len(c.opsFree); n > 0 {
+		s := c.opsFree[n-1]
+		c.opsFree = c.opsFree[:n-1]
+		return s
+	}
+	return nil
+}
+
+// putOps recycles a batch's op slice, clearing records so closures and
+// payload references do not linger.
+func (c *Core) putOps(s []schedOp) {
+	for i := range s {
+		s[i] = schedOp{}
+	}
+	c.opsFree = append(c.opsFree, s[:0])
+}
+
+// getAB returns a pooled appendBatch record.
+func (c *Core) getAB() *appendBatch {
+	if n := len(c.abFree); n > 0 {
+		b := c.abFree[n-1]
+		c.abFree = c.abFree[:n-1]
+		return b
+	}
+	return &appendBatch{}
+}
+
+// putAB recycles an appendBatch record (the ops slice is recycled
+// separately after dispatch completes); nil-safe.
+func (c *Core) putAB(b *appendBatch) {
+	if b == nil {
+		return
+	}
+	b.ops = nil
+	c.abFree = append(c.abFree, b)
+}

@@ -48,7 +48,10 @@ func (c *Core) Read(lba int64, nblocks int, done func(blockdev.ReadResult)) {
 			}
 		}
 	}
-	buf := make([]byte, int64(nblocks)*bs)
+	var buf []byte
+	if c.StoresData() {
+		buf = make([]byte, int64(nblocks)*bs)
+	}
 	// Coalesce per (device, zone): chunks of a striped logical range land
 	// at consecutive zone offsets on each member even though their buffer
 	// positions interleave, so each run carries its blocks' buffer indices

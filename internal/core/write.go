@@ -24,8 +24,10 @@ const (
 	oobLen        = 26
 )
 
-func encodeOOB(kind byte, lbn, sn int64, seq uint64, idx int) []byte {
-	b := make([]byte, oobLen)
+// encodeOOB fills a pooled record (recycled by the dispatch-done callbacks
+// in zones.go once the device has copied it).
+func (c *Core) encodeOOB(kind byte, lbn, sn int64, seq uint64, idx int) []byte {
+	b := c.getOOB()
 	b[0] = kind
 	binary.LittleEndian.PutUint64(b[1:], uint64(lbn))
 	binary.LittleEndian.PutUint64(b[9:], uint64(sn))
@@ -193,14 +195,15 @@ func (c *Core) tryInPlace(lbn int64, e bmtEntry, payload []byte, class Class, ta
 		c.parityBytes += uint64(c.blockSize)
 		pds.submitChunk(pzs, schedOp{
 			off: ppa.off, inplace: true, reserved: true, data: parityData,
-			oob: encodeOOB(oobKindParity, int64(r), e.sn, seq, r), tag: zns.TagParity,
+			ownData: parityData != nil,
+			oob:     c.encodeOOB(oobKindParity, int64(r), e.sn, seq, r), tag: zns.TagParity,
 			done: func(w zns.WriteResult) { finish(w.Err) },
 		})
 	}
 	writeData := func() {
 		ds.submitChunk(zs, schedOp{
 			off: e.pa.off, inplace: true, reserved: true, data: payload,
-			oob: encodeOOB(oobKindData, lbn, e.sn, seq, chunkIdx), tag: tag,
+			oob: c.encodeOOB(oobKindData, lbn, e.sn, seq, chunkIdx), tag: tag,
 			done: func(r zns.WriteResult) { finish(r.Err) },
 		})
 	}
@@ -213,9 +216,11 @@ func (c *Core) tryInPlace(lbn int64, e bmtEntry, payload []byte, class Class, ta
 		return true
 	}
 	// Parity deltas need the old chunk and the old parities — all buffered
-	// reads, since every slot is inside a ZRWA window.
+	// reads, since every slot is inside a ZRWA window. All scratch comes
+	// from the block pool; the read results (fresh copies from the device
+	// model) are recycled into it once folded.
 	var oldData []byte
-	oldParity := make([][]byte, m)
+	oldParity := c.getVec(m)
 	reads := 1 + m
 	afterReads := func() {
 		reads--
@@ -223,20 +228,28 @@ func (c *Core) tryInPlace(lbn int64, e bmtEntry, payload []byte, class Class, ta
 			return
 		}
 		writeData()
-		delta := make([]byte, c.blockSize)
+		var delta []byte
 		if oldData != nil {
-			copy(delta, oldData)
+			delta = c.copyBuf(oldData)
+			c.putBuf(oldData)
+		} else {
+			delta = c.getBuf()
 		}
 		erasure.XORInto(delta, payload)
 		for r := 0; r < m; r++ {
-			np := make([]byte, c.blockSize)
+			var np []byte
 			if oldParity[r] != nil {
-				copy(np, oldParity[r])
+				np = c.copyBuf(oldParity[r])
+				c.putBuf(oldParity[r])
+			} else {
+				np = c.getBuf()
 			}
 			erasure.MulXor(c.coder.Coeff(r, chunkIdx), delta, np)
 			c.acct.ChargeParity(cpumodel.CompBIZA, int64(c.blockSize))
 			writeParity(r, np)
 		}
+		c.putBuf(delta)
+		c.putVec(oldParity)
 	}
 	ds.q.Read(e.pa.zone, e.pa.off, 1, func(r zns.ReadResult) {
 		oldData = r.Data
@@ -324,7 +337,7 @@ func (c *Core) appendChunk(lbn int64, payload []byte, class Class, tag zns.Write
 	}
 	ds.submitChunk(zs, schedOp{
 		off: off, data: payload,
-		oob: encodeOOB(oobKindData, lbn, sn, seq, st.count), tag: tag,
+		oob: c.encodeOOB(oobKindData, lbn, sn, seq, st.count), tag: tag,
 		done: func(r zns.WriteResult) {
 			se.pending--
 			finish(r.Err)
@@ -338,9 +351,9 @@ func (c *Core) appendChunk(lbn int64, payload []byte, class Class, tag zns.Write
 	// its window (stripe lingered) is relocated.
 	if payload != nil {
 		if st.accs == nil {
-			st.accs = make([][]byte, c.cfg.Parity)
+			st.accs = c.getVec(c.cfg.Parity)
 			for r := range st.accs {
-				st.accs[r] = make([]byte, c.blockSize)
+				st.accs[r] = c.getBuf()
 			}
 		}
 		for r := range st.accs {
@@ -388,6 +401,15 @@ func (c *Core) issueParity(st *openStripe, se *smtEntry, class Class, seq uint64
 			return
 		}
 		st.parityBusy = false
+		// A sealed stripe takes no more appends, and the last parity copy
+		// is on its way to the device — the accumulators retire here.
+		if se.sealed && st.accs != nil {
+			for r := range st.accs {
+				c.putBuf(st.accs[r])
+			}
+			c.putVec(st.accs)
+			st.accs = nil
+		}
 		waiters := st.parityWaiters
 		st.parityWaiters = nil
 		for _, w := range waiters {
@@ -404,14 +426,15 @@ func (c *Core) issueParity(st *openStripe, se *smtEntry, class Class, seq uint64
 		pzs := pds.zones[ppa.zone]
 		var parityData []byte
 		if st.accs != nil {
-			parityData = append([]byte(nil), st.accs[r]...)
+			parityData = c.copyBuf(st.accs[r])
 		}
 		c.parityBytes += uint64(c.blockSize)
 		inWindow := pzs != nil && !pzs.sealedF && ppa.off >= pzs.devWP(c.zrwaBlocks)
 		if inWindow {
 			pds.submitChunk(pzs, schedOp{
 				off: ppa.off, inplace: wasWritten, data: parityData,
-				oob: encodeOOB(oobKindParity, int64(r), st.sn, seq, r), tag: zns.TagParity,
+				ownData: parityData != nil,
+				oob:     c.encodeOOB(oobKindParity, int64(r), st.sn, seq, r), tag: zns.TagParity,
 				done: func(w zns.WriteResult) { parityDone(w.Err) },
 			})
 			continue
@@ -424,6 +447,7 @@ func (c *Core) issueParity(st *openStripe, se *smtEntry, class Class, seq uint64
 		}
 		nzs, noff, err := pds.alloc(class)
 		if err != nil {
+			c.putBuf(parityData)
 			parityDone(err)
 			continue
 		}
@@ -432,8 +456,8 @@ func (c *Core) issueParity(st *openStripe, se *smtEntry, class Class, seq uint64
 		nzs.rmapSN[noff] = st.sn
 		nzs.valid++
 		pds.submitChunk(nzs, schedOp{
-			off: noff, data: parityData,
-			oob: encodeOOB(oobKindParity, int64(r), st.sn, seq, r), tag: zns.TagParity,
+			off: noff, data: parityData, ownData: parityData != nil,
+			oob: c.encodeOOB(oobKindParity, int64(r), st.sn, seq, r), tag: zns.TagParity,
 			done: func(w zns.WriteResult) { parityDone(w.Err) },
 		})
 	}

@@ -50,9 +50,13 @@ type schedOp struct {
 	// cannot slide past the slot while the read-modify-write is in flight.
 	reserved bool
 	data     []byte
-	oob      []byte
-	tag      zns.WriteTag
-	done     func(zns.WriteResult)
+	// ownData marks payloads drawn from the core's block pool (parity
+	// copies); the dispatch-done callback recycles them. User payloads and
+	// GC reads stay caller-owned.
+	ownData bool
+	oob     []byte
+	tag     zns.WriteTag
+	done    func(zns.WriteResult)
 }
 
 // appendBatch is a run of contiguous append chunks dispatched as one
@@ -313,7 +317,10 @@ func (ds *devState) submitChunk(zs *zoneState, op schedOp) {
 		return
 	}
 	ds.flushStage(zs)
-	zs.stage = &appendBatch{off: op.off, ops: []schedOp{op}}
+	b := ds.c.getAB()
+	b.off = op.off
+	b.ops = append(ds.c.getOps(), op)
+	zs.stage = b
 	if !zs.stagePending {
 		zs.stagePending = true
 		ds.c.eng.After(0, func() {
@@ -329,6 +336,7 @@ func (ds *devState) flushStage(zs *zoneState) {
 		return
 	}
 	b := *zs.stage
+	ds.c.putAB(zs.stage)
 	zs.stage = nil
 	if len(zs.pendq) == 0 && ds.canAppend(zs, b.end()-1) {
 		ds.dispatchBatch(zs, b)
@@ -359,7 +367,8 @@ func (ds *devState) dispatchInPlace(zs *zoneState, op schedOp) {
 	zs.inflight++
 	var oob [][]byte
 	if op.oob != nil {
-		oob = [][]byte{op.oob}
+		oob = ds.c.getVec(1)
+		oob[0] = op.oob
 	}
 	ds.q.Write(zs.id, op.off, 1, op.data, oob, op.tag, func(r zns.WriteResult) {
 		zs.inflight--
@@ -371,6 +380,12 @@ func (ds *devState) dispatchInPlace(zs *zoneState, op schedOp) {
 		ds.c.observeLatency(ds, zs, r)
 		if op.done != nil {
 			op.done(r)
+		}
+		// The device copied payload and OOB at submission; recycle.
+		ds.c.putOOB(op.oob)
+		ds.c.putVec(oob)
+		if op.ownData {
+			ds.c.putBuf(op.data)
 		}
 		ds.drain(zs)
 		ds.maybeFinish(zs)
@@ -397,7 +412,7 @@ func (ds *devState) dispatchBatch(zs *zoneState, b appendBatch) {
 	}
 	bs := ds.c.blockSize
 	if hasData {
-		data = make([]byte, n*bs)
+		data = ds.c.getBatch(n * bs)
 		for i, op := range b.ops {
 			if op.data != nil {
 				copy(data[i*bs:], op.data)
@@ -405,7 +420,7 @@ func (ds *devState) dispatchBatch(zs *zoneState, b appendBatch) {
 		}
 	}
 	if hasOOB {
-		oob = make([][]byte, n)
+		oob = ds.c.getVec(n)
 		for i, op := range b.ops {
 			oob[i] = op.oob
 		}
@@ -422,6 +437,17 @@ func (ds *devState) dispatchBatch(zs *zoneState, b appendBatch) {
 				op.done(r)
 			}
 		}
+		// The device copied payload and OOB at submission; recycle the
+		// coalesced buffer, the OOB records, and the batch's op slice.
+		for i := range b.ops {
+			ds.c.putOOB(b.ops[i].oob)
+			if b.ops[i].ownData {
+				ds.c.putBuf(b.ops[i].data)
+			}
+		}
+		ds.c.putBatch(data)
+		ds.c.putVec(oob)
+		ds.c.putOps(b.ops)
 		ds.drain(zs)
 		ds.maybeFinish(zs)
 	})

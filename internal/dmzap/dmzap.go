@@ -119,6 +119,8 @@ type Adapter struct {
 	gcRunning bool
 	stalled   []pending // user writes parked at the free-zone cliff
 
+	storesData bool // backend retains payloads (cached at New)
+
 	userBytes     uint64
 	migratedBytes uint64
 	gcEvents      uint64
@@ -142,13 +144,14 @@ func New(backend zoneapi.Backend, cfg Config, acct *cpumodel.Accountant) (*Adapt
 	}
 	logicalBlocks := int64(zones-cfg.OverProvisionZones) * backend.ZoneBlocks()
 	a := &Adapter{
-		cfg:       cfg,
-		backend:   backend,
-		eng:       backend.Engine(),
-		acct:      acct,
-		l2z:       make([]loc, logicalBlocks),
-		zones:     make([]zoneInfo, zones),
-		writeErrs: make(map[string]int),
+		cfg:        cfg,
+		backend:    backend,
+		eng:        backend.Engine(),
+		acct:       acct,
+		l2z:        make([]loc, logicalBlocks),
+		zones:      make([]zoneInfo, zones),
+		writeErrs:  make(map[string]int),
+		storesData: zoneapi.StoresData(backend),
 	}
 	for i := range a.l2z {
 		a.l2z[i] = loc{zone: -1}
@@ -165,6 +168,10 @@ func New(backend zoneapi.Backend, cfg Config, acct *cpumodel.Accountant) (*Adapt
 
 // BlockSize implements blockdev.Device.
 func (a *Adapter) BlockSize() int { return a.backend.BlockSize() }
+
+// StoresData implements blockdev.DataStorer: reads return payloads only
+// when the zoned backend retains them.
+func (a *Adapter) StoresData() bool { return a.storesData }
 
 // Blocks implements blockdev.Device.
 func (a *Adapter) Blocks() int64 { return int64(len(a.l2z)) }
@@ -382,7 +389,10 @@ func (a *Adapter) Read(lba int64, nblocks int, done func(blockdev.ReadResult)) {
 		return
 	}
 	bs := int64(a.BlockSize())
-	buf := make([]byte, int64(nblocks)*bs)
+	var buf []byte
+	if a.storesData {
+		buf = make([]byte, int64(nblocks)*bs)
+	}
 	remaining := 0
 	var firstErr error
 	finishOne := func() {

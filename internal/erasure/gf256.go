@@ -62,9 +62,11 @@ func gfPow(a byte, n int) byte {
 	return gfExp[l]
 }
 
-// mulSlice computes dst[i] ^= c * src[i] for all i (accumulating
-// multiply-add, the inner loop of RS encode/decode).
-func mulSliceXor(c byte, src, dst []byte) {
+// mulSliceXorRef computes dst[i] ^= c * src[i] for all i, one byte at a
+// time through the log/exp tables. It is the reference implementation the
+// wide (8-bytes-per-step) kernels in gf256wide.go are tested against, and
+// the fallback shape the split-table technique optimizes.
+func mulSliceXorRef(c byte, src, dst []byte) {
 	if c == 0 {
 		return
 	}

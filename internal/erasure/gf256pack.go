@@ -1,0 +1,260 @@
+package erasure
+
+import "encoding/binary"
+
+// Packed-table encode kernels. For a fixed data column, every parity row
+// multiplies that column by its own coefficient — so the per-column product
+// tables of all rows can be packed side by side into one wider entry:
+// pair2[col][b] = c0*b | c1*b<<8 (m == 2) and pair3[col][b] packs three rows
+// into a uint32 (m == 3). One table load then yields the products for every
+// parity row at once, halving (or thirding) the lookup traffic of the
+// encode inner loop, which is what the hot path is bound by. Four columns
+// are fused per pass so the parity words accumulate in registers and each
+// source word is loaded exactly once.
+//
+// The tables are per-Coder (k * 512 B for m == 2, k * 1 KiB for m == 3),
+// built once in NewCoder; all kernels are allocation-free.
+
+// buildPair2 packs the two parity coefficients of one data column.
+func buildPair2(c0, c1 byte) [256]uint16 {
+	var t [256]uint16
+	for b := 0; b < 256; b++ {
+		t[b] = uint16(gfMul(c0, byte(b))) | uint16(gfMul(c1, byte(b)))<<8
+	}
+	return t
+}
+
+// buildPair3 packs the three parity coefficients of one data column.
+func buildPair3(c0, c1, c2 byte) [256]uint32 {
+	var t [256]uint32
+	for b := 0; b < 256; b++ {
+		t[b] = uint32(gfMul(c0, byte(b))) | uint32(gfMul(c1, byte(b)))<<8 |
+			uint32(gfMul(c2, byte(b)))<<16
+	}
+	return t
+}
+
+// encPack2x4 encodes four data columns into two parity rows using packed
+// pair tables. acc selects accumulate (^=) versus overwrite (=) so the
+// first pass can skip zero-filling parity.
+func encPack2x4(t0, t1, t2, t3 *[256]uint16, d0, d1, d2, d3, p0, p1 []byte, acc bool) {
+	n := len(p0) &^ 7
+	for i := 0; i+8 <= n; i += 8 {
+		s0 := binary.LittleEndian.Uint64(d0[i:])
+		s1 := binary.LittleEndian.Uint64(d1[i:])
+		s2 := binary.LittleEndian.Uint64(d2[i:])
+		s3 := binary.LittleEndian.Uint64(d3[i:])
+		var w0, w1 uint64
+		x := t0[byte(s0)] ^ t1[byte(s1)] ^ t2[byte(s2)] ^ t3[byte(s3)]
+		w0 |= uint64(x & 0xff)
+		w1 |= uint64(x >> 8)
+		x = t0[byte(s0>>8)] ^ t1[byte(s1>>8)] ^ t2[byte(s2>>8)] ^ t3[byte(s3>>8)]
+		w0 |= uint64(x&0xff) << 8
+		w1 |= uint64(x>>8) << 8
+		x = t0[byte(s0>>16)] ^ t1[byte(s1>>16)] ^ t2[byte(s2>>16)] ^ t3[byte(s3>>16)]
+		w0 |= uint64(x&0xff) << 16
+		w1 |= uint64(x>>8) << 16
+		x = t0[byte(s0>>24)] ^ t1[byte(s1>>24)] ^ t2[byte(s2>>24)] ^ t3[byte(s3>>24)]
+		w0 |= uint64(x&0xff) << 24
+		w1 |= uint64(x>>8) << 24
+		x = t0[byte(s0>>32)] ^ t1[byte(s1>>32)] ^ t2[byte(s2>>32)] ^ t3[byte(s3>>32)]
+		w0 |= uint64(x&0xff) << 32
+		w1 |= uint64(x>>8) << 32
+		x = t0[byte(s0>>40)] ^ t1[byte(s1>>40)] ^ t2[byte(s2>>40)] ^ t3[byte(s3>>40)]
+		w0 |= uint64(x&0xff) << 40
+		w1 |= uint64(x>>8) << 40
+		x = t0[byte(s0>>48)] ^ t1[byte(s1>>48)] ^ t2[byte(s2>>48)] ^ t3[byte(s3>>48)]
+		w0 |= uint64(x&0xff) << 48
+		w1 |= uint64(x>>8) << 48
+		x = t0[byte(s0>>56)] ^ t1[byte(s1>>56)] ^ t2[byte(s2>>56)] ^ t3[byte(s3>>56)]
+		w0 |= uint64(x&0xff) << 56
+		w1 |= uint64(x>>8) << 56
+		if acc {
+			w0 ^= binary.LittleEndian.Uint64(p0[i:])
+			w1 ^= binary.LittleEndian.Uint64(p1[i:])
+		}
+		binary.LittleEndian.PutUint64(p0[i:], w0)
+		binary.LittleEndian.PutUint64(p1[i:], w1)
+	}
+	for i := n; i < len(p0); i++ {
+		x := t0[d0[i]] ^ t1[d1[i]] ^ t2[d2[i]] ^ t3[d3[i]]
+		if acc {
+			p0[i] ^= byte(x)
+			p1[i] ^= byte(x >> 8)
+		} else {
+			p0[i] = byte(x)
+			p1[i] = byte(x >> 8)
+		}
+	}
+}
+
+// encPack2x1 encodes one data column into two parity rows (remainder
+// columns after the 4-wide passes).
+func encPack2x1(t *[256]uint16, d, p0, p1 []byte, acc bool) {
+	n := len(p0) &^ 7
+	for i := 0; i+8 <= n; i += 8 {
+		s := binary.LittleEndian.Uint64(d[i:])
+		var w0, w1 uint64
+		x := t[byte(s)]
+		w0 |= uint64(x & 0xff)
+		w1 |= uint64(x >> 8)
+		x = t[byte(s>>8)]
+		w0 |= uint64(x&0xff) << 8
+		w1 |= uint64(x>>8) << 8
+		x = t[byte(s>>16)]
+		w0 |= uint64(x&0xff) << 16
+		w1 |= uint64(x>>8) << 16
+		x = t[byte(s>>24)]
+		w0 |= uint64(x&0xff) << 24
+		w1 |= uint64(x>>8) << 24
+		x = t[byte(s>>32)]
+		w0 |= uint64(x&0xff) << 32
+		w1 |= uint64(x>>8) << 32
+		x = t[byte(s>>40)]
+		w0 |= uint64(x&0xff) << 40
+		w1 |= uint64(x>>8) << 40
+		x = t[byte(s>>48)]
+		w0 |= uint64(x&0xff) << 48
+		w1 |= uint64(x>>8) << 48
+		x = t[byte(s>>56)]
+		w0 |= uint64(x&0xff) << 56
+		w1 |= uint64(x>>8) << 56
+		if acc {
+			w0 ^= binary.LittleEndian.Uint64(p0[i:])
+			w1 ^= binary.LittleEndian.Uint64(p1[i:])
+		}
+		binary.LittleEndian.PutUint64(p0[i:], w0)
+		binary.LittleEndian.PutUint64(p1[i:], w1)
+	}
+	for i := n; i < len(p0); i++ {
+		x := t[d[i]]
+		if acc {
+			p0[i] ^= byte(x)
+			p1[i] ^= byte(x >> 8)
+		} else {
+			p0[i] = byte(x)
+			p1[i] = byte(x >> 8)
+		}
+	}
+}
+
+// encPack3x4 encodes four data columns into three parity rows using packed
+// triple tables.
+func encPack3x4(t0, t1, t2, t3 *[256]uint32, d0, d1, d2, d3, p0, p1, p2 []byte, acc bool) {
+	n := len(p0) &^ 7
+	for i := 0; i+8 <= n; i += 8 {
+		s0 := binary.LittleEndian.Uint64(d0[i:])
+		s1 := binary.LittleEndian.Uint64(d1[i:])
+		s2 := binary.LittleEndian.Uint64(d2[i:])
+		s3 := binary.LittleEndian.Uint64(d3[i:])
+		var w0, w1, w2 uint64
+		x := t0[byte(s0)] ^ t1[byte(s1)] ^ t2[byte(s2)] ^ t3[byte(s3)]
+		w0 |= uint64(x & 0xff)
+		w1 |= uint64(x >> 8 & 0xff)
+		w2 |= uint64(x >> 16)
+		x = t0[byte(s0>>8)] ^ t1[byte(s1>>8)] ^ t2[byte(s2>>8)] ^ t3[byte(s3>>8)]
+		w0 |= uint64(x&0xff) << 8
+		w1 |= uint64(x>>8&0xff) << 8
+		w2 |= uint64(x>>16) << 8
+		x = t0[byte(s0>>16)] ^ t1[byte(s1>>16)] ^ t2[byte(s2>>16)] ^ t3[byte(s3>>16)]
+		w0 |= uint64(x&0xff) << 16
+		w1 |= uint64(x>>8&0xff) << 16
+		w2 |= uint64(x>>16) << 16
+		x = t0[byte(s0>>24)] ^ t1[byte(s1>>24)] ^ t2[byte(s2>>24)] ^ t3[byte(s3>>24)]
+		w0 |= uint64(x&0xff) << 24
+		w1 |= uint64(x>>8&0xff) << 24
+		w2 |= uint64(x>>16) << 24
+		x = t0[byte(s0>>32)] ^ t1[byte(s1>>32)] ^ t2[byte(s2>>32)] ^ t3[byte(s3>>32)]
+		w0 |= uint64(x&0xff) << 32
+		w1 |= uint64(x>>8&0xff) << 32
+		w2 |= uint64(x>>16) << 32
+		x = t0[byte(s0>>40)] ^ t1[byte(s1>>40)] ^ t2[byte(s2>>40)] ^ t3[byte(s3>>40)]
+		w0 |= uint64(x&0xff) << 40
+		w1 |= uint64(x>>8&0xff) << 40
+		w2 |= uint64(x>>16) << 40
+		x = t0[byte(s0>>48)] ^ t1[byte(s1>>48)] ^ t2[byte(s2>>48)] ^ t3[byte(s3>>48)]
+		w0 |= uint64(x&0xff) << 48
+		w1 |= uint64(x>>8&0xff) << 48
+		w2 |= uint64(x>>16) << 48
+		x = t0[byte(s0>>56)] ^ t1[byte(s1>>56)] ^ t2[byte(s2>>56)] ^ t3[byte(s3>>56)]
+		w0 |= uint64(x&0xff) << 56
+		w1 |= uint64(x>>8&0xff) << 56
+		w2 |= uint64(x>>16) << 56
+		if acc {
+			w0 ^= binary.LittleEndian.Uint64(p0[i:])
+			w1 ^= binary.LittleEndian.Uint64(p1[i:])
+			w2 ^= binary.LittleEndian.Uint64(p2[i:])
+		}
+		binary.LittleEndian.PutUint64(p0[i:], w0)
+		binary.LittleEndian.PutUint64(p1[i:], w1)
+		binary.LittleEndian.PutUint64(p2[i:], w2)
+	}
+	for i := n; i < len(p0); i++ {
+		x := t0[d0[i]] ^ t1[d1[i]] ^ t2[d2[i]] ^ t3[d3[i]]
+		if acc {
+			p0[i] ^= byte(x)
+			p1[i] ^= byte(x >> 8)
+			p2[i] ^= byte(x >> 16)
+		} else {
+			p0[i] = byte(x)
+			p1[i] = byte(x >> 8)
+			p2[i] = byte(x >> 16)
+		}
+	}
+}
+
+// encPack3x1 encodes one data column into three parity rows.
+func encPack3x1(t *[256]uint32, d, p0, p1, p2 []byte, acc bool) {
+	n := len(p0) &^ 7
+	for i := 0; i+8 <= n; i += 8 {
+		s := binary.LittleEndian.Uint64(d[i:])
+		var w0, w1, w2 uint64
+		for sh := 0; sh < 64; sh += 8 {
+			x := t[byte(s>>sh)]
+			w0 |= uint64(x&0xff) << sh
+			w1 |= uint64(x>>8&0xff) << sh
+			w2 |= uint64(x>>16) << sh
+		}
+		if acc {
+			w0 ^= binary.LittleEndian.Uint64(p0[i:])
+			w1 ^= binary.LittleEndian.Uint64(p1[i:])
+			w2 ^= binary.LittleEndian.Uint64(p2[i:])
+		}
+		binary.LittleEndian.PutUint64(p0[i:], w0)
+		binary.LittleEndian.PutUint64(p1[i:], w1)
+		binary.LittleEndian.PutUint64(p2[i:], w2)
+	}
+	for i := n; i < len(p0); i++ {
+		x := t[d[i]]
+		if acc {
+			p0[i] ^= byte(x)
+			p1[i] ^= byte(x >> 8)
+			p2[i] ^= byte(x >> 16)
+		} else {
+			p0[i] = byte(x)
+			p1[i] = byte(x >> 8)
+			p2[i] = byte(x >> 16)
+		}
+	}
+}
+
+// xorSet4 computes p = d0 ^ d1 ^ d2 ^ d3 — the RAID 5 (m == 1) encode
+// kernel, four source words per parity word.
+func xorSet4(d0, d1, d2, d3, p []byte, acc bool) {
+	n := len(p) &^ 7
+	for i := 0; i+8 <= n; i += 8 {
+		w := binary.LittleEndian.Uint64(d0[i:]) ^ binary.LittleEndian.Uint64(d1[i:]) ^
+			binary.LittleEndian.Uint64(d2[i:]) ^ binary.LittleEndian.Uint64(d3[i:])
+		if acc {
+			w ^= binary.LittleEndian.Uint64(p[i:])
+		}
+		binary.LittleEndian.PutUint64(p[i:], w)
+	}
+	for i := n; i < len(p); i++ {
+		w := d0[i] ^ d1[i] ^ d2[i] ^ d3[i]
+		if acc {
+			w ^= p[i]
+		}
+		p[i] = w
+	}
+}

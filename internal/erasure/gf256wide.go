@@ -1,0 +1,123 @@
+package erasure
+
+import "encoding/binary"
+
+// Wide GF(256) kernels: the multiply-accumulate inner loops of RS
+// encode/decode processed 8 bytes per step in pure Go.
+//
+// The technique is the classic split-table (high/low nibble) formulation:
+// for a fixed coefficient c, c*s = c*(s_hi<<4) ^ c*(s_lo), so two 16-entry
+// tables — products of c with every high nibble and every low nibble —
+// replace the log/exp lookups and the per-byte zero branch. The source is
+// loaded 8 bytes at a time as a uint64, each byte's two nibbles index the
+// 16-byte tables (L1-resident, branch-free), and the products are packed
+// back into a uint64 that is XORed into dst with a single store. The same
+// uint64 codec (little-endian) is used for load and store, so lane order
+// cancels and the kernels are endian-agnostic.
+//
+// All kernels are allocation-free; the 256 coefficient tables (8 KiB
+// total) are precomputed at package init.
+
+// mulTable holds the split nibble product tables of one coefficient:
+// lo[n] = c*n and hi[n] = c*(n<<4).
+type mulTable struct {
+	lo [16]byte
+	hi [16]byte
+}
+
+// mulTabs[c] is the split table of coefficient c.
+var mulTabs [256]mulTable
+
+func init() {
+	for c := 0; c < 256; c++ {
+		t := &mulTabs[c]
+		for n := 0; n < 16; n++ {
+			t.lo[n] = gfMul(byte(c), byte(n))
+			t.hi[n] = gfMul(byte(c), byte(n<<4))
+		}
+	}
+}
+
+// mulWord multiplies each of the 8 field elements packed in s by the
+// table's coefficient.
+func (t *mulTable) mulWord(s uint64) uint64 {
+	return uint64(t.lo[s&15]^t.hi[s>>4&15]) |
+		uint64(t.lo[s>>8&15]^t.hi[s>>12&15])<<8 |
+		uint64(t.lo[s>>16&15]^t.hi[s>>20&15])<<16 |
+		uint64(t.lo[s>>24&15]^t.hi[s>>28&15])<<24 |
+		uint64(t.lo[s>>32&15]^t.hi[s>>36&15])<<32 |
+		uint64(t.lo[s>>40&15]^t.hi[s>>44&15])<<40 |
+		uint64(t.lo[s>>48&15]^t.hi[s>>52&15])<<48 |
+		uint64(t.lo[s>>56&15]^t.hi[s>>60&15])<<56
+}
+
+// mulSliceXor computes dst[i] ^= c * src[i] for all i — the hot
+// multiply-accumulate of Encode/UpdateParity/Reconstruct — 8 bytes per
+// step with a scalar tail for unaligned lengths.
+func mulSliceXor(c byte, src, dst []byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		xorIntoWide(dst, src)
+		return
+	}
+	t := &mulTabs[c]
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		s := binary.LittleEndian.Uint64(src[i:])
+		d := binary.LittleEndian.Uint64(dst[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^t.mulWord(s))
+	}
+	for i := n; i < len(src); i++ {
+		s := src[i]
+		dst[i] ^= t.lo[s&15] ^ t.hi[s>>4]
+	}
+}
+
+// mulSliceSet computes dst[i] = c * src[i] (overwrite, no accumulate), so
+// encoders can skip zero-filling the destination for the first column.
+func mulSliceSet(c byte, src, dst []byte) {
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	if c == 0 {
+		clear(dst[:len(src)])
+		return
+	}
+	t := &mulTabs[c]
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		s := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], t.mulWord(s))
+	}
+	for i := n; i < len(src); i++ {
+		s := src[i]
+		dst[i] = t.lo[s&15] ^ t.hi[s>>4]
+	}
+}
+
+// xorIntoWide accumulates src into dst (dst ^= src) 8 bytes per step.
+func xorIntoWide(dst, src []byte) {
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// xorWide computes dst = a ^ b elementwise, 8 bytes per step.
+func xorWide(dst, a, b []byte) {
+	n := len(a) &^ 7
+	for i := 0; i < n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(a[i:])^binary.LittleEndian.Uint64(b[i:]))
+	}
+	for i := n; i < len(a); i++ {
+		dst[i] = a[i] ^ b[i]
+	}
+}

@@ -14,6 +14,12 @@ type Coder struct {
 	// parityRows[r][c] is the coefficient applied to data shard c when
 	// producing parity shard r.
 	parityRows [][]byte
+	// Packed per-column product tables (see gf256pack.go): one table load
+	// yields the products for every parity row at once. Built in NewCoder
+	// for the geometries the AFA engines use; nil for m == 1 (plain XOR)
+	// and m > 3 (generic wide path).
+	pack2 [][256]uint16 // m == 2
+	pack3 [][256]uint32 // m == 3
 }
 
 // ErrTooManyMissing reports an unrecoverable erasure pattern.
@@ -44,6 +50,18 @@ func NewCoder(k, m int) (*Coder, error) {
 		}
 		c.parityRows[r] = row
 	}
+	switch m {
+	case 2:
+		c.pack2 = make([][256]uint16, k)
+		for col := 0; col < k; col++ {
+			c.pack2[col] = buildPair2(c.parityRows[0][col], c.parityRows[1][col])
+		}
+	case 3:
+		c.pack3 = make([][256]uint32, k)
+		for col := 0; col < k; col++ {
+			c.pack3[col] = buildPair3(c.parityRows[0][col], c.parityRows[1][col], c.parityRows[2][col])
+		}
+	}
 	return c, nil
 }
 
@@ -53,6 +71,18 @@ func (c *Coder) K() int { return c.k }
 // M reports the parity shard count.
 func (c *Coder) M() int { return c.m }
 
+// ParityRows returns a copy of the generator's parity coefficient rows:
+// ParityRows()[r][col] is the GF(256) coefficient applied to data shard
+// col when computing parity shard r. External oracles (perf snapshots,
+// cross-implementation checks) use it to recompute parity independently.
+func (c *Coder) ParityRows() [][]byte {
+	rows := make([][]byte, c.m)
+	for r := range rows {
+		rows[r] = append([]byte(nil), c.parityRows[r]...)
+	}
+	return rows
+}
+
 // Encode computes parity shards from data shards. data must hold k
 // equal-length shards; parity must hold m shards of the same length and is
 // overwritten.
@@ -60,16 +90,72 @@ func (c *Coder) Encode(data, parity [][]byte) error {
 	if err := c.checkShards(data, parity); err != nil {
 		return err
 	}
-	for r := 0; r < c.m; r++ {
-		p := parity[r]
-		for i := range p {
-			p[i] = 0
-		}
-		for col := 0; col < c.k; col++ {
-			mulSliceXor(c.parityRows[r][col], data[col], p)
+	switch c.m {
+	case 1:
+		c.encode1(data, parity[0])
+	case 2:
+		c.encode2(data, parity[0], parity[1])
+	case 3:
+		c.encode3(data, parity[0], parity[1], parity[2])
+	default:
+		for r := 0; r < c.m; r++ {
+			p := parity[r]
+			// First column overwrites (no zero-fill pass), the rest accumulate.
+			mulSliceSet(c.parityRows[r][0], data[0], p)
+			for col := 1; col < c.k; col++ {
+				mulSliceXor(c.parityRows[r][col], data[col], p)
+			}
 		}
 	}
 	return nil
+}
+
+// encode1 is RAID 5 parity: p = XOR of all data shards, four columns per
+// pass.
+func (c *Coder) encode1(data [][]byte, p []byte) {
+	col, acc := 0, false
+	for ; col+4 <= c.k; col += 4 {
+		xorSet4(data[col], data[col+1], data[col+2], data[col+3], p, acc)
+		acc = true
+	}
+	for ; col < c.k; col++ {
+		if acc {
+			xorIntoWide(p, data[col])
+		} else {
+			copy(p, data[col])
+			acc = true
+		}
+	}
+}
+
+// encode2 is the m == 2 hot path: packed pair tables, four columns fused
+// per pass so each source word is loaded once and parity stays in
+// registers.
+func (c *Coder) encode2(data [][]byte, p0, p1 []byte) {
+	col, acc := 0, false
+	for ; col+4 <= c.k; col += 4 {
+		encPack2x4(&c.pack2[col], &c.pack2[col+1], &c.pack2[col+2], &c.pack2[col+3],
+			data[col], data[col+1], data[col+2], data[col+3], p0, p1, acc)
+		acc = true
+	}
+	for ; col < c.k; col++ {
+		encPack2x1(&c.pack2[col], data[col], p0, p1, acc)
+		acc = true
+	}
+}
+
+// encode3 mirrors encode2 with triple-packed tables.
+func (c *Coder) encode3(data [][]byte, p0, p1, p2 []byte) {
+	col, acc := 0, false
+	for ; col+4 <= c.k; col += 4 {
+		encPack3x4(&c.pack3[col], &c.pack3[col+1], &c.pack3[col+2], &c.pack3[col+3],
+			data[col], data[col+1], data[col+2], data[col+3], p0, p1, p2, acc)
+		acc = true
+	}
+	for ; col < c.k; col++ {
+		encPack3x1(&c.pack3[col], data[col], p0, p1, p2, acc)
+		acc = true
+	}
 }
 
 // UpdateParity applies an incremental parity delta for an in-place data
@@ -84,9 +170,7 @@ func (c *Coder) UpdateParity(idx int, oldData, newData []byte, parity [][]byte) 
 		return errors.New("erasure: old/new shard length mismatch")
 	}
 	delta := make([]byte, len(oldData))
-	for i := range delta {
-		delta[i] = oldData[i] ^ newData[i]
-	}
+	xorWide(delta, oldData, newData)
 	for r := 0; r < c.m; r++ {
 		if len(parity[r]) != len(delta) {
 			return errors.New("erasure: parity shard length mismatch")
@@ -279,9 +363,7 @@ func XOR(dst, a, b []byte) {
 	if len(a) != len(b) || len(dst) != len(a) {
 		panic("erasure: XOR length mismatch")
 	}
-	for i := range a {
-		dst[i] = a[i] ^ b[i]
-	}
+	xorWide(dst, a, b)
 }
 
 // XORInto accumulates src into dst (dst ^= src).
@@ -289,9 +371,7 @@ func XORInto(dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("erasure: XORInto length mismatch")
 	}
-	for i := range src {
-		dst[i] ^= src[i]
-	}
+	xorIntoWide(dst, src)
 }
 
 // Coeff reports the generator coefficient applied to data shard col when

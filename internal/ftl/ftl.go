@@ -263,6 +263,9 @@ func (d *Device) Config() Config { return d.cfg }
 // BlockSize implements blockdev.Device.
 func (d *Device) BlockSize() int { return d.cfg.BlockSize }
 
+// StoresData implements blockdev.DataStorer.
+func (d *Device) StoresData() bool { return d.cfg.StoreData }
+
 // Blocks implements blockdev.Device.
 func (d *Device) Blocks() int64 { return d.logicalPages }
 

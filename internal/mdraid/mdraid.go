@@ -145,6 +145,17 @@ func New(eng *sim.Engine, members []blockdev.Device, cfg Config, acct *cpumodel.
 // BlockSize implements blockdev.Device.
 func (a *Array) BlockSize() int { return a.members[0].BlockSize() }
 
+// StoresData implements blockdev.DataStorer: reads return payloads only
+// when every member retains them.
+func (a *Array) StoresData() bool {
+	for _, m := range a.members {
+		if !blockdev.StoresData(m) {
+			return false
+		}
+	}
+	return true
+}
+
 // Blocks implements blockdev.Device: data capacity across members.
 func (a *Array) Blocks() int64 {
 	stripes := a.members[0].Blocks() / a.cfg.ChunkBlocks
@@ -539,7 +550,10 @@ func (a *Array) Read(lba int64, nblocks int, done func(blockdev.ReadResult)) {
 		return
 	}
 	bs := int64(a.BlockSize())
-	buf := make([]byte, int64(nblocks)*bs)
+	var buf []byte
+	if a.StoresData() {
+		buf = make([]byte, int64(nblocks)*bs)
+	}
 	type runT struct {
 		member  int
 		off     int64

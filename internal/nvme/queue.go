@@ -46,6 +46,124 @@ type Queue struct {
 	tr       *obs.Trace
 	trDev    int
 	inflight int64
+
+	opFree []*qop // pooled delivery records
+}
+
+// qop is a pooled in-flight command record: one event schedules its
+// delivery to the device, and a completion closure cached on the record
+// (allocated once per record, reused across recycles) forwards the result,
+// so a steady-state submission allocates nothing in the driver layer.
+type qop struct {
+	q       *Queue
+	kind    uint8 // opWrite, opRead, opAppend, opReset
+	z       int
+	lba     int64
+	nblocks int
+	data    []byte
+	oob     [][]byte
+	tag     zns.WriteTag
+	span    obs.SpanID
+	start   sim.Time
+	at      sim.Time
+	wdone   func(zns.WriteResult)
+	rdone   func(zns.ReadResult)
+	adone   func(zns.AppendResult)
+	edone   func(error)
+	// Cached forwarding closures (capture only the record pointer).
+	wfwd func(zns.WriteResult)
+	rfwd func(zns.ReadResult)
+	afwd func(zns.AppendResult)
+}
+
+const (
+	opWrite = iota
+	opRead
+	opAppend
+	opReset
+)
+
+func (q *Queue) getOp() *qop {
+	if n := len(q.opFree); n > 0 {
+		op := q.opFree[n-1]
+		q.opFree = q.opFree[:n-1]
+		return op
+	}
+	op := &qop{q: q}
+	op.wfwd = func(r zns.WriteResult) { op.finishWrite(r) }
+	op.rfwd = func(r zns.ReadResult) { op.finishRead(r) }
+	op.afwd = func(r zns.AppendResult) { op.finishAppend(r) }
+	return op
+}
+
+func (q *Queue) putOp(op *qop) {
+	op.data, op.oob = nil, nil
+	op.wdone, op.rdone, op.adone, op.edone = nil, nil, nil, nil
+	q.opFree = append(q.opFree, op)
+}
+
+// Fire delivers the command to the device at its scheduled time.
+func (op *qop) Fire(_, _ sim.Time) {
+	q := op.q
+	if q.tr != nil && op.kind != opReset {
+		q.tr.Mark(op.span, int64(op.start), int64(op.at), obs.LayerNVMe, obs.PhaseQueue, q.trDev, op.z, -1)
+		q.dev.TraceSpan(op.span)
+	}
+	switch op.kind {
+	case opWrite:
+		q.dev.Write(op.z, op.lba, op.nblocks, op.data, op.oob, op.tag, op.wfwd)
+	case opRead:
+		q.dev.Read(op.z, op.lba, op.nblocks, op.rfwd)
+	case opAppend:
+		q.dev.Append(op.z, op.nblocks, op.data, op.oob, op.tag, op.afwd)
+	case opReset:
+		done := op.edone
+		z := op.z
+		q.putOp(op)
+		q.dev.Reset(z, done)
+	}
+}
+
+func (op *qop) finishWrite(r zns.WriteResult) {
+	q := op.q
+	r.Latency = q.eng.Now() - op.start
+	if q.tr != nil {
+		q.tr.SpanEnd(op.span, int64(q.eng.Now()), r.Err != nil)
+		q.qd(-1)
+	}
+	done := op.wdone
+	q.putOp(op)
+	if done != nil {
+		done(r)
+	}
+}
+
+func (op *qop) finishRead(r zns.ReadResult) {
+	q := op.q
+	r.Latency = q.eng.Now() - op.start
+	if q.tr != nil {
+		q.tr.SpanEnd(op.span, int64(q.eng.Now()), r.Err != nil)
+		q.qd(-1)
+	}
+	done := op.rdone
+	q.putOp(op)
+	if done != nil {
+		done(r)
+	}
+}
+
+func (op *qop) finishAppend(r zns.AppendResult) {
+	q := op.q
+	r.Latency = q.eng.Now() - op.start
+	if q.tr != nil {
+		q.tr.SpanEnd(op.span, int64(q.eng.Now()), r.Err != nil)
+		q.qd(-1)
+	}
+	done := op.adone
+	q.putOp(op)
+	if done != nil {
+		done(r)
+	}
 }
 
 // New wraps dev with a delivery queue.
@@ -105,88 +223,52 @@ func (q *Queue) deliverAt(z int, ordered bool) sim.Time {
 
 // Write submits a zone write through the driver stack.
 func (q *Queue) Write(z int, lba int64, nblocks int, data []byte, oob [][]byte, tag zns.WriteTag, done func(zns.WriteResult)) {
-	start := q.eng.Now()
-	at := q.deliverAt(z, true)
-	var span obs.SpanID
+	op := q.getOp()
+	op.kind, op.z, op.lba, op.nblocks = opWrite, z, lba, nblocks
+	op.data, op.oob, op.tag, op.wdone = data, oob, tag, done
+	op.start = q.eng.Now()
+	op.at = q.deliverAt(z, true)
 	if q.tr != nil {
-		span = q.tr.SpanBegin(int64(start), obs.LayerNVMe, obs.OpWrite, q.trDev, z, lba, int64(nblocks))
+		op.span = q.tr.SpanBegin(int64(op.start), obs.LayerNVMe, obs.OpWrite, q.trDev, z, lba, int64(nblocks))
 		q.qd(+1)
 	}
-	q.eng.At(at, func() {
-		if q.tr != nil {
-			q.tr.Mark(span, int64(start), int64(at), obs.LayerNVMe, obs.PhaseQueue, q.trDev, z, -1)
-			q.dev.TraceSpan(span)
-		}
-		q.dev.Write(z, lba, nblocks, data, oob, tag, func(r zns.WriteResult) {
-			r.Latency = q.eng.Now() - start
-			if q.tr != nil {
-				q.tr.SpanEnd(span, int64(q.eng.Now()), r.Err != nil)
-				q.qd(-1)
-			}
-			if done != nil {
-				done(r)
-			}
-		})
-	})
+	q.eng.AtEvent(op.at, op, 0, 0)
 }
 
 // Read submits a zone read through the driver stack.
 func (q *Queue) Read(z int, lba int64, nblocks int, done func(zns.ReadResult)) {
-	start := q.eng.Now()
-	at := q.deliverAt(z, false)
-	var span obs.SpanID
+	op := q.getOp()
+	op.kind, op.z, op.lba, op.nblocks = opRead, z, lba, nblocks
+	op.rdone = done
+	op.start = q.eng.Now()
+	op.at = q.deliverAt(z, false)
 	if q.tr != nil {
-		span = q.tr.SpanBegin(int64(start), obs.LayerNVMe, obs.OpRead, q.trDev, z, lba, int64(nblocks))
+		op.span = q.tr.SpanBegin(int64(op.start), obs.LayerNVMe, obs.OpRead, q.trDev, z, lba, int64(nblocks))
 		q.qd(+1)
 	}
-	q.eng.At(at, func() {
-		if q.tr != nil {
-			q.tr.Mark(span, int64(start), int64(at), obs.LayerNVMe, obs.PhaseQueue, q.trDev, z, -1)
-			q.dev.TraceSpan(span)
-		}
-		q.dev.Read(z, lba, nblocks, func(r zns.ReadResult) {
-			r.Latency = q.eng.Now() - start
-			if q.tr != nil {
-				q.tr.SpanEnd(span, int64(q.eng.Now()), r.Err != nil)
-				q.qd(-1)
-			}
-			if done != nil {
-				done(r)
-			}
-		})
-	})
+	q.eng.AtEvent(op.at, op, 0, 0)
 }
 
 // Append submits a zone append through the driver stack.
 func (q *Queue) Append(z int, nblocks int, data []byte, oob [][]byte, tag zns.WriteTag, done func(zns.AppendResult)) {
-	start := q.eng.Now()
-	at := q.deliverAt(z, true)
-	var span obs.SpanID
+	op := q.getOp()
+	op.kind, op.z, op.lba, op.nblocks = opAppend, z, -1, nblocks
+	op.data, op.oob, op.tag, op.adone = data, oob, tag, done
+	op.start = q.eng.Now()
+	op.at = q.deliverAt(z, true)
 	if q.tr != nil {
-		span = q.tr.SpanBegin(int64(start), obs.LayerNVMe, obs.OpAppend, q.trDev, z, -1, int64(nblocks))
+		op.span = q.tr.SpanBegin(int64(op.start), obs.LayerNVMe, obs.OpAppend, q.trDev, z, -1, int64(nblocks))
 		q.qd(+1)
 	}
-	q.eng.At(at, func() {
-		if q.tr != nil {
-			q.tr.Mark(span, int64(start), int64(at), obs.LayerNVMe, obs.PhaseQueue, q.trDev, z, -1)
-			q.dev.TraceSpan(span)
-		}
-		q.dev.Append(z, nblocks, data, oob, tag, func(r zns.AppendResult) {
-			r.Latency = q.eng.Now() - start
-			if q.tr != nil {
-				q.tr.SpanEnd(span, int64(q.eng.Now()), r.Err != nil)
-				q.qd(-1)
-			}
-			if done != nil {
-				done(r)
-			}
-		})
-	})
+	q.eng.AtEvent(op.at, op, 0, 0)
 }
 
 // Reset forwards a zone reset (admin path, still jittered so resets land
 // amid data traffic realistically).
 func (q *Queue) Reset(z int, done func(error)) {
-	at := q.deliverAt(z, true)
-	q.eng.At(at, func() { q.dev.Reset(z, done) })
+	op := q.getOp()
+	op.kind, op.z, op.edone = opReset, z, done
+	op.start = q.eng.Now()
+	op.at = q.deliverAt(z, true)
+	q.eng.AtEvent(op.at, op, 0, 0)
 }

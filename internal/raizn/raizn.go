@@ -159,6 +159,17 @@ func (a *Array) ZoneBlocks() int64 { return a.zoneBlocks * int64(a.dataDisks()) 
 // Zones implements zoneapi.Backend.
 func (a *Array) Zones() int { return a.logicalZones }
 
+// StoresData implements zoneapi.DataStorer: the array returns payloads
+// only when every member device retains them.
+func (a *Array) StoresData() bool {
+	for _, q := range a.queues {
+		if !q.Device().Config().StoreData {
+			return false
+		}
+	}
+	return true
+}
+
 // MaxOpenZones implements zoneapi.Backend: one logical zone consumes a
 // physical open zone on every member; device 0 also carries the metadata
 // journal zone.
@@ -386,7 +397,10 @@ func (a *Array) Read(z int, lba int64, nblocks int, done func(zns.ReadResult)) {
 	k := int64(a.dataDisks())
 	bs := int64(a.blockSize)
 	pz := a.physZone(z)
-	buf := make([]byte, n*bs)
+	var buf []byte
+	if a.StoresData() {
+		buf = make([]byte, n*bs)
+	}
 	var firstErr error
 	outstanding := 0
 	finishOne := func(err error) {

@@ -5,10 +5,17 @@
 // and an event heap. Callers schedule callbacks at absolute or relative
 // virtual times; Run drains the heap in (time, insertion-order) order, so
 // every simulation is fully reproducible.
+//
+// The event core is built for throughput: events are value types in a
+// hand-rolled 4-ary min-heap (no container/heap interface boxing, no
+// per-event allocation inside the engine), and hot schedulers can avoid
+// caller-side closure allocation entirely by scheduling a pooled record
+// through the Handler interface (AtEvent/AfterEvent) or a pre-stored
+// two-argument callback (atTimed, used by Resource). See DESIGN.md,
+// "Event core".
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sync/atomic"
 )
@@ -24,44 +31,47 @@ const (
 	Second      Time = 1000 * 1000 * 1000
 )
 
+// Handler is implemented by schedulable event records. Hot paths keep a
+// pool of records implementing Handler and schedule them with AtEvent:
+// the engine stores the interface value without allocating, so a recycled
+// record costs zero allocations per scheduled event.
+type Handler interface {
+	// Fire runs the event. a and b carry two caller-chosen Time arguments
+	// (Resource passes service start/end; plain events pass zeros).
+	Fire(a, b Time)
+}
+
+// event is one scheduled callback, stored by value in the heap. Exactly
+// one of fn, tfn, h is set.
 type event struct {
-	at  Time
-	seq uint64 // tie-breaker: FIFO among events with equal timestamps
-	fn  func()
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among events with equal timestamps
+	a, b Time   // arguments for tfn / h
+	fn   func()
+	tfn  func(a, b Time)
+	h    Handler
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports heap ordering: (time, insertion seq).
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
 
 // Engine is a discrete-event simulation engine. It is not safe for
 // concurrent use; the entire simulation runs on one goroutine.
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []event // 4-ary min-heap ordered by (at, seq)
 	stopped bool
 	sink    *atomic.Int64 // optional: accumulates virtual time advanced
 }
 
 // NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
-}
+func NewEngine() *Engine { return &Engine{} }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -86,53 +96,172 @@ func (e *Engine) advanceTo(t Time) {
 // Pending reports the number of scheduled, not-yet-fired events.
 func (e *Engine) Pending() int { return len(e.events) }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it would mean causality is broken somewhere in the simulation.
-func (e *Engine) At(t Time, fn func()) {
+// push inserts ev, maintaining the 4-ary heap invariant.
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	i := len(e.events) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.events[i].before(&e.events[p]) {
+			break
+		}
+		e.events[i], e.events[p] = e.events[p], e.events[i]
+		i = p
+	}
+}
+
+// pop removes and returns the earliest event. The heap must be non-empty.
+func (e *Engine) pop() event {
+	h := e.events
+	root := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop fn/h references so fired events don't pin memory
+	e.events = h[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	return root
+}
+
+// siftDown restores the heap invariant below node i.
+func (e *Engine) siftDown(i int) {
+	h := e.events
+	n := len(h)
+	for {
+		c := i<<2 + 1 // first child
+		if c >= n {
+			return
+		}
+		// Find the smallest of up to four children.
+		best := c
+		last := c + 4
+		if last > n {
+			last = n
+		}
+		for j := c + 1; j < last; j++ {
+			if h[j].before(&h[best]) {
+				best = j
+			}
+		}
+		if !h[best].before(&h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+// schedule validates t and pushes ev with the next sequence number.
+func (e *Engine) schedule(t Time, ev event) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	e.events.pushEvent(event{at: t, seq: e.seq, fn: fn})
+	ev.at = t
+	ev.seq = e.seq
+	e.push(ev)
 }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would mean causality is broken somewhere in the simulation.
+func (e *Engine) At(t Time, fn func()) { e.schedule(t, event{fn: fn}) }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
-// Run fires events until the heap is empty or Stop is called.
-func (e *Engine) Run() {
-	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		ev := e.events.popEvent()
-		e.advanceTo(ev.at)
+// AtEvent schedules h.Fire(a, b) at absolute time t. The engine itself
+// performs no allocation, so pooled records make scheduling allocation-free.
+func (e *Engine) AtEvent(t Time, h Handler, a, b Time) {
+	e.schedule(t, event{h: h, a: a, b: b})
+}
+
+// AfterEvent schedules h.Fire(a, b) d nanoseconds from now.
+func (e *Engine) AfterEvent(d Time, h Handler, a, b Time) { e.AtEvent(e.now+d, h, a, b) }
+
+// atTimed schedules fn(a, b) at absolute time t without a wrapper closure
+// (package-internal: Resource completions).
+func (e *Engine) atTimed(t Time, fn func(a, b Time), a, b Time) {
+	e.schedule(t, event{tfn: fn, a: a, b: b})
+}
+
+// fire dispatches one popped event.
+func (ev *event) fire() {
+	switch {
+	case ev.fn != nil:
 		ev.fn()
+	case ev.tfn != nil:
+		ev.tfn(ev.a, ev.b)
+	case ev.h != nil:
+		ev.h.Fire(ev.a, ev.b)
+	}
+}
+
+// consumeStop reports whether a stop request is pending, clearing it. Each
+// Stop halts exactly one Run/RunUntil.
+func (e *Engine) consumeStop() bool {
+	if e.stopped {
+		e.stopped = false
+		return true
+	}
+	return false
+}
+
+// Run fires events until the heap is empty or Stop is called.
+//
+// A Stop issued while the engine is idle latches: the next Run (or
+// RunUntil) returns before firing anything, consuming the request.
+func (e *Engine) Run() {
+	if e.consumeStop() {
+		return
+	}
+	for len(e.events) > 0 {
+		ev := e.pop()
+		e.advanceTo(ev.at)
+		ev.fire()
+		if e.consumeStop() {
+			return
+		}
 	}
 }
 
 // RunUntil fires events with timestamps <= t, then advances the clock to t.
-// Events scheduled beyond t remain pending.
+// Events scheduled beyond t remain pending. A pending or mid-run Stop halts
+// the call before the clock advances to t (and is consumed, like Run).
 func (e *Engine) RunUntil(t Time) {
-	e.stopped = false
-	for len(e.events) > 0 && !e.stopped && e.events.peek().at <= t {
-		ev := e.events.popEvent()
-		e.advanceTo(ev.at)
-		ev.fn()
+	if e.consumeStop() {
+		return
 	}
-	if !e.stopped && e.now < t {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		ev := e.pop()
+		e.advanceTo(ev.at)
+		ev.fire()
+		if e.consumeStop() {
+			return
+		}
+	}
+	if e.now < t {
 		e.advanceTo(t)
 	}
 }
 
 // Step fires exactly one event, if any, and reports whether one fired.
+// Step ignores pending stop requests.
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := e.events.popEvent()
+	ev := e.pop()
 	e.advanceTo(ev.at)
-	ev.fn()
+	ev.fire()
 	return true
 }
 
-// Stop halts Run/RunUntil after the currently executing event returns.
+// Stop requests a halt. The request latches: it halts the currently
+// executing Run/RunUntil after the running event returns or, if the engine
+// is idle, the next Run/RunUntil call, which then fires nothing. Each
+// request halts exactly one run.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Stopping reports whether a stop request is pending.
+func (e *Engine) Stopping() bool { return e.stopped }

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refEvent / refHeap reimplement the engine's ordering contract on top of
+// container/heap, as the oracle for the hand-rolled 4-ary heap: pop order
+// is (time, insertion seq), FIFO among equal timestamps.
+type refEvent struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h *refHeap) popID() int        { return heap.Pop(h).(refEvent).id }
+func (h *refHeap) pushEv(e refEvent) { heap.Push(h, e) }
+
+// TestHeapOrderMatchesContainerHeap drives the engine and a container/heap
+// reference with identical random (time, seq) streams — including bursts of
+// duplicate timestamps and interleaved push/pop — and requires identical
+// firing order.
+func TestHeapOrderMatchesContainerHeap(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		e := NewEngine()
+		ref := &refHeap{}
+		var got, want []int
+		var seq uint64
+		nextID := 0
+		push := func() {
+			// Small time range forces many equal timestamps (FIFO stress).
+			at := e.Now() + Time(rng.Intn(8))
+			id := nextID
+			nextID++
+			seq++
+			ref.pushEv(refEvent{at: at, seq: seq, id: id})
+			e.At(at, func() { got = append(got, id) })
+		}
+		for i := 0; i < 40; i++ {
+			push()
+		}
+		for ref.Len() > 0 {
+			// Reference pops one; engine runs until that event's time has
+			// fired everything due, so drain the reference first.
+			want = append(want, ref.popID())
+			if !e.Step() {
+				t.Fatalf("trial %d: engine exhausted before reference", trial)
+			}
+			// Occasionally push more while draining (interleaved schedule).
+			if rng.Intn(4) == 0 && nextID < 200 {
+				push()
+			}
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("trial %d: engine has %d events left after reference drained", trial, e.Pending())
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: fired %d events, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: firing order diverges at %d: got %d want %d\ngot  %v\nwant %v",
+					trial, i, got[i], want[i], got, want)
+			}
+		}
+	}
+}
+
+// countHandler is a pooled event record: scheduling it must not allocate.
+type countHandler struct {
+	n int
+	a Time
+	b Time
+}
+
+func (h *countHandler) Fire(a, b Time) { h.n++; h.a, h.b = a, b }
+
+// TestAtEventZeroAlloc is the gate for the allocation-free event core:
+// scheduling a pooled Handler record and firing it costs zero allocations
+// per event once the heap's backing array has grown.
+func TestAtEventZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	h := &countHandler{}
+	// Warm up so e.events has capacity.
+	for i := 0; i < 64; i++ {
+		e.AfterEvent(Time(i), h, 1, 2)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.AfterEvent(10, h, 3, 4)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("AtEvent+Run allocates %.1f per event, want 0", allocs)
+	}
+	if h.a != 3 || h.b != 4 {
+		t.Fatalf("handler args = (%d,%d), want (3,4)", h.a, h.b)
+	}
+}
+
+// TestResourceSubmitZeroAlloc gates the Resource fast path: a steady-state
+// submit/complete cycle through a pooled grant record must not allocate.
+func TestResourceSubmitZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 2)
+	fn := func(start, end Time) {}
+	for i := 0; i < 64; i++ {
+		r.Submit(10, fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Submit(10, fn)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("Resource.Submit+Run allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestStopWhileIdleLatches: a Stop issued while the engine is idle halts
+// the next Run before it fires anything, and is consumed by that Run.
+func TestStopWhileIdleLatches(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.Stop()
+	if !e.Stopping() {
+		t.Fatal("Stopping() = false after Stop")
+	}
+	e.Run()
+	if fired != 0 {
+		t.Fatalf("Run fired %d events despite pending idle Stop", fired)
+	}
+	if e.Stopping() {
+		t.Fatal("Run did not consume the stop request")
+	}
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("second Run fired %d events, want 1 (stop must halt exactly one run)", fired)
+	}
+}
+
+// TestStopWhileIdleHaltsRunUntil: an idle Stop also halts RunUntil before
+// the clock advances, and is consumed.
+func TestStopWhileIdleHaltsRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.Stop()
+	e.RunUntil(100)
+	if fired != 0 {
+		t.Fatalf("RunUntil fired %d events despite pending idle Stop", fired)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("RunUntil advanced the clock to %d under a pending Stop", e.Now())
+	}
+	e.RunUntil(100)
+	if fired != 1 || e.Now() != 100 {
+		t.Fatalf("after consuming stop: fired=%d now=%d, want 1/100", fired, e.Now())
+	}
+}
+
+// TestStopMidRunConsumedOnce: a Stop fired from inside an event halts that
+// Run after the event returns; the next Run resumes normally.
+func TestStopMidRunConsumedOnce(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(10, func() { order = append(order, 1); e.Stop() })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 1 {
+		t.Fatalf("first Run fired %v, want just [1]", order)
+	}
+	e.Run()
+	if len(order) != 2 || order[1] != 2 {
+		t.Fatalf("second Run fired %v, want [1 2]", order)
+	}
+}
+
+// TestStepIgnoresStop: Step fires exactly one event even under a pending
+// stop request (documented semantics).
+func TestStepIgnoresStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.Stop()
+	if !e.Step() {
+		t.Fatal("Step returned false with a pending event")
+	}
+	if fired != 1 {
+		t.Fatal("Step did not fire under a pending Stop")
+	}
+	if !e.Stopping() {
+		t.Fatal("Step must not consume the stop request")
+	}
+}

@@ -28,27 +28,43 @@ func (r *Resource) Servers() int { return len(r.freeAt) }
 // when the job completes; start is when service began (after queueing) and
 // end when it finished. Submit returns the completion time.
 func (r *Resource) Submit(service Time, done func(start, end Time)) Time {
+	start, end := r.reserve(service)
+	if done != nil {
+		r.eng.atTimed(end, done, start, end)
+	}
+	return end
+}
+
+// SubmitEvent enqueues a job whose completion fires h.Fire(start, end).
+// With a pooled record this path performs zero allocations per submission.
+func (r *Resource) SubmitEvent(service Time, h Handler) Time {
+	start, end := r.reserve(service)
+	if h != nil {
+		r.eng.AtEvent(end, h, start, end)
+	}
+	return end
+}
+
+// reserve assigns the job to the earliest-free server and returns its
+// service window.
+func (r *Resource) reserve(service Time) (start, end Time) {
 	if service < 0 {
 		panic("sim: negative service time")
 	}
-	// Pick the earliest-free server.
 	best := 0
 	for i := 1; i < len(r.freeAt); i++ {
 		if r.freeAt[i] < r.freeAt[best] {
 			best = i
 		}
 	}
-	start := r.eng.Now()
+	start = r.eng.Now()
 	if r.freeAt[best] > start {
 		start = r.freeAt[best]
 	}
-	end := start + service
+	end = start + service
 	r.freeAt[best] = end
 	r.busy += service
-	if done != nil {
-		r.eng.At(end, func() { done(start, end) })
-	}
-	return end
+	return start, end
 }
 
 // NextFree reports the earliest time at which any server becomes free.

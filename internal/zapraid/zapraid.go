@@ -96,7 +96,53 @@ type Array struct {
 	gcEvents    uint64
 	stalled     []func()
 
+	// Free lists for stripe-forming state: steady-state stripe writes
+	// reuse one stripeBuf and one parity accumulator per stripe slot.
+	sbFree  []*stripeBuf
+	accFree [][]byte
+
 	tr *obs.Trace
+}
+
+// getSB returns a pooled (emptied) stripe buffer.
+func (a *Array) getSB() *stripeBuf {
+	if n := len(a.sbFree); n > 0 {
+		sb := a.sbFree[n-1]
+		a.sbFree = a.sbFree[:n-1]
+		return sb
+	}
+	return &stripeBuf{}
+}
+
+// putSB recycles a stripe buffer and its accumulator.
+func (a *Array) putSB(sb *stripeBuf) {
+	sb.lbns = sb.lbns[:0]
+	for i := range sb.data {
+		sb.data[i] = nil
+	}
+	sb.data = sb.data[:0]
+	a.putAcc(sb.acc)
+	sb.acc = nil
+	a.sbFree = append(a.sbFree, sb)
+}
+
+// getAcc returns a zeroed block-size parity accumulator.
+func (a *Array) getAcc() []byte {
+	if n := len(a.accFree); n > 0 {
+		b := a.accFree[n-1]
+		a.accFree = a.accFree[:n-1]
+		clear(b)
+		return b
+	}
+	return make([]byte, a.blockSize)
+}
+
+// putAcc recycles an accumulator; nil-safe.
+func (a *Array) putAcc(b []byte) {
+	if b == nil || cap(b) < a.blockSize {
+		return
+	}
+	a.accFree = append(a.accFree, b[:a.blockSize])
 }
 
 // SetTracer attaches an observability trace: array-level spans cover each
@@ -161,6 +207,17 @@ func makeFilled(n int64, v int64) []int64 {
 
 // BlockSize implements blockdev.Device.
 func (a *Array) BlockSize() int { return a.blockSize }
+
+// StoresData implements blockdev.DataStorer: reads return payloads only
+// when every member device retains them.
+func (a *Array) StoresData() bool {
+	for _, ds := range a.devs {
+		if !ds.q.Device().Config().StoreData {
+			return false
+		}
+	}
+	return true
+}
 
 // Blocks implements blockdev.Device.
 func (a *Array) Blocks() int64 {
@@ -266,13 +323,13 @@ func (a *Array) writeChunk(lbn int64, payload []byte, tag zns.WriteTag, gc bool,
 		}
 	}
 	if a.cur == nil {
-		a.cur = &stripeBuf{}
+		a.cur = a.getSB()
 	}
 	a.cur.lbns = append(a.cur.lbns, lbn)
 	a.cur.data = append(a.cur.data, payload)
 	if payload != nil {
 		if a.cur.acc == nil {
-			a.cur.acc = make([]byte, a.blockSize)
+			a.cur.acc = a.getAcc()
 		}
 		erasure.XORInto(a.cur.acc, payload)
 	}
@@ -326,19 +383,26 @@ func (a *Array) writeChunk(lbn int64, payload []byte, tag zns.WriteTag, gc bool,
 	}
 }
 
-// sealStripe appends the parity chunk of a completed stripe.
+// sealStripe appends the parity chunk of a completed stripe. The stripe
+// buffer is recycled at submission (nothing reads it afterwards) and the
+// accumulator once the device has copied it.
 func (a *Array) sealStripe(st *stripeBuf) {
 	pdev := a.rot % len(a.devs)
 	ds := a.devs[pdev]
 	zs, err := a.pickZone(ds)
 	if err != nil {
+		a.putSB(st)
 		return
 	}
 	zs.appended++
 	zs.inflight++
 	a.parityBytes += uint64(a.blockSize)
-	ds.q.Append(zs.id, 1, st.acc, nil, zns.TagParity, func(r zns.AppendResult) {
+	acc := st.acc
+	st.acc = nil
+	a.putSB(st)
+	ds.q.Append(zs.id, 1, acc, nil, zns.TagParity, func(r zns.AppendResult) {
 		zs.inflight--
+		a.putAcc(acc)
 	})
 }
 
@@ -364,7 +428,10 @@ func (a *Array) Read(lba int64, nblocks int, done func(blockdev.ReadResult)) {
 		}
 	}
 	bs := int64(a.blockSize)
-	buf := make([]byte, int64(nblocks)*bs)
+	var buf []byte
+	if a.StoresData() {
+		buf = make([]byte, int64(nblocks)*bs)
+	}
 	remaining := 0
 	var firstErr error
 	finish := func(err error) {

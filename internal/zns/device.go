@@ -130,6 +130,7 @@ type bufBlock struct {
 type waiter struct {
 	need int64 // buffer credit still required
 	run  func()
+	op   *writeOp // pooled-record waiter (run is nil)
 }
 
 type zone struct {
@@ -180,6 +181,16 @@ type Device struct {
 	// device-owned span either) from "caller untraced".
 	spanHint  obs.SpanID
 	hintValid bool
+
+	// Free lists for pooled command records and write-buffer scratch (the
+	// simulation is single-goroutine; see ops.go).
+	wopFree  []*writeOp
+	ropFree  []*readOp
+	popFree  []*programOp
+	bbFree   []*bufBlock
+	dataFree [][]byte
+	oobFree  [][]byte
+	runFree  [][]*bufBlock
 }
 
 // New creates a device. The zone-to-channel map is fixed at creation:
@@ -571,19 +582,16 @@ func (d *Device) commitRange(zn *zone, upTo int64, reason uint8) {
 			upTo, upTo-zn.wp, reason)
 	}
 	var runStart int64 = -1
-	var run []*bufBlock
-	flush := func(start int64, blocks []*bufBlock) {
-		if len(blocks) == 0 {
-			return
-		}
-		d.program(zn, start, blocks)
-	}
+	run := d.getRun()
 	const maxBatch = 16 // 64 KiB batches spread commits across dies
 	for b := zn.wp; b < upTo; b++ {
 		bb, ok := zn.dirty[b]
 		if !ok {
-			flush(runStart, run)
-			runStart, run = -1, nil
+			if len(run) > 0 {
+				d.program(zn, runStart, run)
+				run = d.getRun()
+			}
+			runStart = -1
 			continue
 		}
 		delete(zn.dirty, b)
@@ -593,49 +601,28 @@ func (d *Device) commitRange(zn *zone, upTo int64, reason uint8) {
 		}
 		run = append(run, bb)
 		if len(run) >= maxBatch {
-			flush(runStart, run)
-			runStart, run = -1, nil
+			d.program(zn, runStart, run)
+			run = d.getRun()
+			runStart = -1
 		}
 	}
-	flush(runStart, run)
+	if len(run) > 0 {
+		d.program(zn, runStart, run)
+	} else {
+		d.putRun(run)
+	}
 	zn.wp = upTo
 }
 
 // program schedules the flash program of a contiguous run of committed
-// blocks: channel bus transfer, then a die program. On completion it
-// persists data/OOB, counts the traffic, releases buffer credit, and admits
-// waiting writes.
+// blocks through a pooled programOp: channel bus transfer, then a die
+// program. On completion it persists data/OOB, counts the traffic, releases
+// buffer credit, and admits waiting writes (see ops.go).
 func (d *Device) program(zn *zone, start int64, blocks []*bufBlock) {
+	op := d.getProgramOp()
+	op.zn, op.start, op.blocks, op.stage = zn, start, blocks, pBus
 	size := int64(len(blocks)) * int64(d.cfg.BlockSize)
-	ch := d.chans[zn.channel]
-	chIdx := zn.channel
-	nblk := len(blocks)
-	busTime := size * sim.Second / d.cfg.ChannelWriteBW
-	dieTime := size * sim.Second / d.cfg.DieWriteBW
-	ch.writeBus.Submit(busTime, func(s, e sim.Time) {
-		d.tr.Segment(int64(s), int64(e), obs.LayerZNS, obs.SegProgramBus, d.trDev, zn.idx, chIdx, nblk)
-		ch.dies.Submit(dieTime, func(s, e sim.Time) {
-			d.tr.Segment(int64(s), int64(e), obs.LayerZNS, obs.SegProgramDie, d.trDev, zn.idx, chIdx, nblk)
-			for i, bb := range blocks {
-				b := start + int64(i)
-				delete(zn.pending, b)
-				if d.cfg.StoreData {
-					if zn.data == nil {
-						zn.data = make(map[int64][]byte)
-						zn.oob = make(map[int64][]byte)
-					}
-					if bb.data != nil {
-						zn.data[b] = bb.data
-					}
-					if bb.oob != nil {
-						zn.oob[b] = bb.oob
-					}
-				}
-				d.stats.ProgrammedBytes[bb.tag] += uint64(d.cfg.BlockSize)
-			}
-			d.releaseCredit(zn, int64(len(blocks)))
-		})
-	})
+	d.chans[zn.channel].writeBus.SubmitEvent(size*sim.Second/d.cfg.ChannelWriteBW, op)
 }
 
 func (d *Device) releaseCredit(zn *zone, n int64) {
@@ -646,31 +633,25 @@ func (d *Device) releaseCredit(zn *zone, n int64) {
 			return
 		}
 		zn.credit -= w.need
-		run := w.run
+		run, op := w.run, w.op
 		zn.waiters = zn.waiters[1:]
-		run()
+		if op != nil {
+			op.creditGranted()
+		} else {
+			run()
+		}
 	}
 }
 
-// acquireCredit runs fn once need buffer slots are available, preserving
-// FIFO order among waiters.
-func (d *Device) acquireCredit(zn *zone, need int64, fn func()) {
-	if len(zn.waiters) == 0 && zn.credit >= need {
-		zn.credit -= need
-		fn()
+// acquireCreditOp continues op once op.need buffer slots are available,
+// preserving FIFO order among waiters.
+func (d *Device) acquireCreditOp(zn *zone, op *writeOp) {
+	if len(zn.waiters) == 0 && zn.credit >= op.need {
+		zn.credit -= op.need
+		op.creditGranted()
 		return
 	}
-	zn.waiters = append(zn.waiters, waiter{need: need, run: fn})
-}
-
-func (d *Device) failWrite(done func(WriteResult), err error) {
-	if done == nil {
-		return
-	}
-	start := d.eng.Now()
-	d.eng.After(d.cfg.CmdOverhead, func() {
-		done(WriteResult{Err: err, Latency: d.eng.Now() - start})
-	})
+	zn.waiters = append(zn.waiters, waiter{need: op.need, op: op})
 }
 
 // Write submits an async write of nblocks starting at block lba of zone z.
@@ -685,35 +666,47 @@ func (d *Device) failWrite(done func(WriteResult), err error) {
 // Validation happens at submission order — the order the driver delivers
 // commands, which is what makes kernel-level reordering dangerous (§3.2).
 func (d *Device) Write(z int, lba int64, nblocks int, data []byte, oob [][]byte, tag WriteTag, done func(WriteResult)) {
-	start := d.eng.Now()
 	span, hinted := d.takeHint()
+	d.write(z, lba, nblocks, data, oob, tag, span, hinted, done, nil)
+}
+
+// write is the shared body of Write and Append, driven by a pooled writeOp
+// (see ops.go) instead of a per-command closure chain.
+func (d *Device) write(z int, lba int64, nblocks int, data []byte, oob [][]byte, tag WriteTag,
+	span obs.SpanID, hinted bool, done func(WriteResult), adone func(AppendResult)) {
+	op := d.getWriteOp()
+	op.z, op.lba, op.n = z, lba, int64(nblocks)
+	op.tag, op.data, op.oob = tag, data, oob
+	op.span, op.start = span, d.eng.Now()
+	op.done, op.adone = done, adone
 	zn, err := d.zoneArg(z)
 	if err != nil {
-		d.failWrite(done, err)
+		op.fail(err)
 		return
 	}
+	op.zn = zn
 	if zn.state == ZoneReadOnly {
-		d.failWrite(done, ErrReadOnly)
+		op.fail(ErrReadOnly)
 		return
 	}
 	if zn.state == ZoneFull {
-		d.failWrite(done, ErrZoneFull)
+		op.fail(ErrZoneFull)
 		return
 	}
-	n := int64(nblocks)
+	n := op.n
 	if nblocks <= 0 || lba < 0 || lba+n > d.cfg.ZoneBlocks {
-		d.failWrite(done, ErrBadRange)
+		op.fail(ErrBadRange)
 		return
 	}
 	if data != nil && int64(len(data)) != n*int64(d.cfg.BlockSize) {
-		d.failWrite(done, fmt.Errorf("zns: data length %d for %d blocks", len(data), nblocks))
+		op.fail(fmt.Errorf("zns: data length %d for %d blocks", len(data), nblocks))
 		return
 	}
 	// Implicit open on first write to an empty/closed zone.
 	if zn.state == ZoneEmpty || zn.state == ZoneClosed {
 		if d.openCount >= d.cfg.MaxOpenZones ||
 			(zn.state == ZoneEmpty && d.activeCount >= d.cfg.MaxActiveZone) {
-			d.failWrite(done, ErrTooManyOpen)
+			op.fail(ErrTooManyOpen)
 			return
 		}
 		if zn.state == ZoneEmpty {
@@ -727,21 +720,15 @@ func (d *Device) Write(z int, lba int64, nblocks int, data []byte, oob [][]byte,
 	}
 	// A device with no traced driver above it owns the span itself.
 	if !hinted && d.tr != nil {
-		span = d.tr.SpanBegin(int64(start), obs.LayerZNS, obs.OpWrite, d.trDev, z, lba, n)
-		innerDone := done
-		done = func(r WriteResult) {
-			d.tr.SpanEnd(span, int64(d.eng.Now()), r.Err != nil)
-			if innerDone != nil {
-				innerDone(r)
-			}
-		}
+		op.span = d.tr.SpanBegin(int64(op.start), obs.LayerZNS, obs.OpWrite, d.trDev, z, lba, n)
+		op.ownSpan = true
 	}
 
-	size := n * int64(d.cfg.BlockSize)
+	op.size = n * int64(d.cfg.BlockSize)
 	if !zn.zrwa {
 		// Plain sequential path: validate against wp, program directly.
 		if lba != zn.wp {
-			d.failWrite(done, ErrNotSequential)
+			op.fail(ErrNotSequential)
 			return
 		}
 		zn.wp += n
@@ -758,36 +745,18 @@ func (d *Device) Write(z int, lba int64, nblocks int, data []byte, oob [][]byte,
 			d.traceState(zn, prev, ZoneFull)
 			d.traceOpenCount()
 		}
-		ch := d.chans[zn.channel]
-		chIdx := zn.channel
-		d.controller.Submit(d.cfg.CmdOverhead, func(_, _ sim.Time) {
-			d.writeLink.Submit(size*sim.Second/d.cfg.DeviceWriteBW, func(s, e sim.Time) {
-				d.tr.Mark(span, int64(s), int64(e), obs.LayerZNS, obs.PhaseXfer, d.trDev, z, -1)
-				ch.writeBus.Submit(size*sim.Second/d.cfg.ChannelWriteBW, func(s, e sim.Time) {
-					d.tr.Mark(span, int64(s), int64(e), obs.LayerZNS, obs.PhaseBus, d.trDev, z, chIdx)
-					ch.dies.Submit(size*sim.Second/d.cfg.DieWriteBW, func(s, e sim.Time) {
-						d.tr.Mark(span, int64(s), int64(e), obs.LayerZNS, obs.PhaseDie, d.trDev, z, chIdx)
-						if d.cfg.StoreData {
-							d.storeDirect(zn, lba, nblocks, data, oob)
-						}
-						d.stats.ProgrammedBytes[tag] += uint64(size)
-						if done != nil {
-							done(WriteResult{Latency: d.eng.Now() - start})
-						}
-					})
-				})
-			})
-		})
+		op.stage = wSeqCtrl
+		d.controller.SubmitEvent(d.cfg.CmdOverhead, op)
 		return
 	}
 
 	// ZRWA path.
 	if n > d.cfg.ZRWABlocks {
-		d.failWrite(done, ErrBadRange)
+		op.fail(ErrBadRange)
 		return
 	}
 	if lba < zn.wp {
-		d.failWrite(done, ErrOutOfWindow)
+		op.fail(ErrOutOfWindow)
 		return
 	}
 	if end := lba + n; end > zn.wp+d.cfg.ZRWABlocks {
@@ -797,48 +766,35 @@ func (d *Device) Write(z int, lba int64, nblocks int, data []byte, oob [][]byte,
 	// Count slots needed (first-touch blocks only) at validation time so
 	// concurrent in-flight writes see consistent dirty state.
 	var need int64
-	newBlocks := make([]bool, nblocks)
 	for i := int64(0); i < n; i++ {
-		b := lba + i
-		if _, ok := zn.dirty[b]; !ok {
+		if _, ok := zn.dirty[lba+i]; !ok {
 			need++
-			newBlocks[i] = true
 		} else {
 			d.stats.AbsorbedBytes += uint64(d.cfg.BlockSize)
 		}
 	}
+	bs := int64(d.cfg.BlockSize)
 	for i := int64(0); i < n; i++ {
 		b := lba + i
 		bb := zn.dirty[b]
 		if bb == nil {
-			bb = &bufBlock{}
+			bb = d.getBufBlock()
 			zn.dirty[b] = bb
 		}
 		bb.tag = tag
 		if data != nil {
-			bb.data = append([]byte(nil), data[i*int64(d.cfg.BlockSize):(i+1)*int64(d.cfg.BlockSize)]...)
+			d.setData(bb, data[i*bs:(i+1)*bs])
 		}
 		if oob != nil && int(i) < len(oob) && oob[i] != nil {
-			bb.oob = append([]byte(nil), oob[i]...)
+			d.setOOB(bb, oob[i])
 		}
 	}
 	if zn.written < lba+n {
 		zn.written = lba + n
 	}
-	d.controller.Submit(d.cfg.CmdOverhead, func(_, _ sim.Time) {
-		d.acquireCredit(zn, need, func() {
-			d.writeLink.Submit(size*sim.Second/d.cfg.DeviceWriteBW, func(s, e sim.Time) {
-				d.tr.Mark(span, int64(s), int64(e), obs.LayerZNS, obs.PhaseXfer, d.trDev, z, -1)
-				bufStart := d.eng.Now()
-				d.eng.After(d.cfg.BufWriteLatency, func() {
-					d.tr.Mark(span, int64(bufStart), int64(d.eng.Now()), obs.LayerZNS, obs.PhaseBuffer, d.trDev, z, -1)
-					if done != nil {
-						done(WriteResult{Latency: d.eng.Now() - start})
-					}
-				})
-			})
-		})
-	})
+	op.need = need
+	op.stage = wZCtrl
+	d.controller.SubmitEvent(d.cfg.CmdOverhead, op)
 }
 
 func (d *Device) storeDirect(zn *zone, lba int64, nblocks int, data []byte, oob [][]byte) {
@@ -862,17 +818,13 @@ func (d *Device) storeDirect(zn *zone, lba int64, nblocks int, data []byte, oob 
 // the current write pointer. Appends are rejected on zones opened with
 // ZRWA (NVMe makes the features mutually exclusive).
 func (d *Device) Append(z int, nblocks int, data []byte, oob [][]byte, tag WriteTag, done func(AppendResult)) {
-	start := d.eng.Now()
 	// Consume the caller's span hint now so failed validation cannot leave
-	// it armed for an unrelated command; re-arm it for the inner Write.
+	// it armed for an unrelated command; pass it through to the write body.
 	span, hinted := d.takeHint()
 	fail := func(err error) {
-		if done == nil {
-			return
-		}
-		d.eng.After(d.cfg.CmdOverhead, func() {
-			done(AppendResult{Err: err, Latency: d.eng.Now() - start})
-		})
+		op := d.getWriteOp()
+		op.start, op.adone = d.eng.Now(), done
+		op.fail(err)
 	}
 	zn, err := d.zoneArg(z)
 	if err != nil {
@@ -887,15 +839,7 @@ func (d *Device) Append(z int, nblocks int, data []byte, oob [][]byte, tag Write
 		fail(ErrZoneFull)
 		return
 	}
-	lba := zn.wp
-	if hinted {
-		d.TraceSpan(span)
-	}
-	d.Write(z, lba, nblocks, data, oob, tag, func(r WriteResult) {
-		if done != nil {
-			done(AppendResult{Err: r.Err, LBA: lba, Latency: r.Latency})
-		}
-	})
+	d.write(z, zn.wp, nblocks, data, oob, tag, span, hinted, nil, done)
 }
 
 // Read submits an async read of nblocks starting at block lba of zone z.
@@ -903,40 +847,32 @@ func (d *Device) Append(z int, nblocks int, data []byte, oob [][]byte, tag Write
 // takes the flash path through the zone's channel (and therefore contends
 // with GC traffic on that channel).
 func (d *Device) Read(z int, lba int64, nblocks int, done func(ReadResult)) {
-	start := d.eng.Now()
+	op := d.getReadOp()
+	op.start = d.eng.Now()
 	span, hinted := d.takeHint()
-	fail := func(err error) {
-		if done == nil {
-			return
-		}
-		d.eng.After(d.cfg.CmdOverhead, func() {
-			done(ReadResult{Err: err, Latency: d.eng.Now() - start})
-		})
-	}
+	op.span = span
+	op.z, op.lba, op.n = z, lba, int64(nblocks)
+	op.done = done
 	zn, err := d.zoneArg(z)
 	if err != nil {
-		fail(err)
+		op.fail(err)
 		return
 	}
-	n := int64(nblocks)
+	op.zn = zn
+	n := op.n
 	if nblocks <= 0 || lba < 0 || lba+n > d.cfg.ZoneBlocks {
-		fail(ErrBadRange)
+		op.fail(ErrBadRange)
 		return
 	}
-	size := n * int64(d.cfg.BlockSize)
-	d.stats.ReadBytes += uint64(size)
+	op.size = n * int64(d.cfg.BlockSize)
+	d.stats.ReadBytes += uint64(op.size)
+	// A device with no traced driver above it owns the span itself.
 	if !hinted && d.tr != nil {
-		span = d.tr.SpanBegin(int64(start), obs.LayerZNS, obs.OpRead, d.trDev, z, lba, n)
-		innerDone := done
-		done = func(r ReadResult) {
-			d.tr.SpanEnd(span, int64(d.eng.Now()), r.Err != nil)
-			if innerDone != nil {
-				innerDone(r)
-			}
-		}
+		op.span = d.tr.SpanBegin(int64(op.start), obs.LayerZNS, obs.OpRead, d.trDev, z, lba, n)
+		op.ownSpan = true
 	}
 
-	inBuffer := true
+	op.inBuffer = true
 	for i := int64(0); i < n; i++ {
 		b := lba + i
 		if zn.dirty != nil {
@@ -947,70 +883,11 @@ func (d *Device) Read(z int, lba int64, nblocks int, done func(ReadResult)) {
 				continue
 			}
 		}
-		inBuffer = false
+		op.inBuffer = false
 		break
 	}
-
-	finish := func() {
-		if done == nil {
-			return
-		}
-		var data []byte
-		var oob [][]byte
-		if d.cfg.StoreData {
-			data = make([]byte, size)
-			oob = make([][]byte, nblocks)
-			bs := int64(d.cfg.BlockSize)
-			for i := int64(0); i < n; i++ {
-				b := lba + i
-				var src []byte
-				var so []byte
-				if zn.dirty != nil {
-					if bb, ok := zn.dirty[b]; ok {
-						src, so = bb.data, bb.oob
-					} else if bb, ok := zn.pending[b]; ok {
-						src, so = bb.data, bb.oob
-					}
-				}
-				if src == nil && zn.data != nil {
-					src, so = zn.data[b], zn.oob[b]
-				}
-				if src != nil {
-					copy(data[i*bs:(i+1)*bs], src)
-				}
-				if so != nil {
-					oob[i] = append([]byte(nil), so...)
-				}
-			}
-		}
-		done(ReadResult{Data: data, OOB: oob, Latency: d.eng.Now() - start})
-	}
-
-	d.controller.Submit(d.cfg.CmdOverhead, func(_, _ sim.Time) {
-		if inBuffer {
-			bufStart := d.eng.Now()
-			d.eng.After(d.cfg.BufReadLatency, func() {
-				d.tr.Mark(span, int64(bufStart), int64(d.eng.Now()), obs.LayerZNS, obs.PhaseBuffer, d.trDev, z, -1)
-				d.readLink.Submit(size*sim.Second/d.cfg.DeviceReadBW, func(s, e sim.Time) {
-					d.tr.Mark(span, int64(s), int64(e), obs.LayerZNS, obs.PhaseXfer, d.trDev, z, -1)
-					finish()
-				})
-			})
-			return
-		}
-		ch := d.chans[zn.channel]
-		chIdx := zn.channel
-		ch.readBus.Submit(size*sim.Second/d.cfg.ChannelReadBW, func(s, e sim.Time) {
-			d.tr.Mark(span, int64(s), int64(e), obs.LayerZNS, obs.PhaseBus, d.trDev, z, chIdx)
-			ch.dies.Submit(d.cfg.DieReadLatency+size*sim.Second/d.cfg.DieReadBW, func(s, e sim.Time) {
-				d.tr.Mark(span, int64(s), int64(e), obs.LayerZNS, obs.PhaseDie, d.trDev, z, chIdx)
-				d.readLink.Submit(size*sim.Second/d.cfg.DeviceReadBW, func(s, e sim.Time) {
-					d.tr.Mark(span, int64(s), int64(e), obs.LayerZNS, obs.PhaseXfer, d.trDev, z, -1)
-					finish()
-				})
-			})
-		})
-	})
+	op.stage = rCtrl
+	d.controller.SubmitEvent(d.cfg.CmdOverhead, op)
 }
 
 // SetOffline marks a zone dead (fault injection for degraded-mode tests).

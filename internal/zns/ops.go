@@ -1,0 +1,393 @@
+package zns
+
+import (
+	"biza/internal/obs"
+	"biza/internal/sim"
+)
+
+// Pooled command records. Each data-path command (write, append, read) and
+// each flash program batch is driven by one record implementing
+// sim.Handler: the record carries a stage counter and re-schedules itself
+// through the resource pipeline, replacing the per-command closure chain.
+// Records live on device-local free lists (the simulation is
+// single-goroutine), so a steady-state command performs no allocation
+// inside the device.
+
+// writeOp stages (sequential, ZRWA, and failure paths share the record).
+const (
+	wFail    = iota // validation failed: deliver the error after CmdOverhead
+	wSeqCtrl        // controller overhead done -> host link transfer
+	wSeqXfer        // host link done -> channel program bus
+	wSeqBus         // channel bus done -> die program
+	wSeqDie         // die program done -> complete
+	wZCtrl          // controller overhead done -> acquire buffer credit
+	wZXfer          // host link done -> DRAM buffer write
+	wZBuf           // buffer write done -> complete
+)
+
+type writeOp struct {
+	d       *Device
+	zn      *zone
+	z       int
+	lba     int64
+	n       int64
+	size    int64
+	need    int64 // ZRWA buffer credit required
+	tag     WriteTag
+	data    []byte
+	oob     [][]byte
+	span    obs.SpanID
+	ownSpan bool
+	start   sim.Time
+	err     error
+	stage   uint8
+	done    func(WriteResult)
+	adone   func(AppendResult) // set instead of done for appends
+}
+
+func (d *Device) getWriteOp() *writeOp {
+	if n := len(d.wopFree); n > 0 {
+		op := d.wopFree[n-1]
+		d.wopFree = d.wopFree[:n-1]
+		return op
+	}
+	return &writeOp{d: d}
+}
+
+func (d *Device) putWriteOp(op *writeOp) {
+	*op = writeOp{d: d}
+	d.wopFree = append(d.wopFree, op)
+}
+
+// fail delivers err after the command overhead, like any other completion.
+func (op *writeOp) fail(err error) {
+	if op.done == nil && op.adone == nil && !op.ownSpan {
+		op.d.putWriteOp(op)
+		return
+	}
+	op.err = err
+	op.stage = wFail
+	op.d.eng.AfterEvent(op.d.cfg.CmdOverhead, op, 0, 0)
+}
+
+// complete finishes the span, recycles the record, and then invokes the
+// caller's callback (recycle-first so a re-entrant submission can reuse it).
+func (op *writeOp) complete() {
+	d := op.d
+	if op.ownSpan {
+		d.tr.SpanEnd(op.span, int64(d.eng.Now()), op.err != nil)
+	}
+	done, adone := op.done, op.adone
+	err, lba := op.err, op.lba
+	lat := d.eng.Now() - op.start
+	d.putWriteOp(op)
+	if adone != nil {
+		adone(AppendResult{Err: err, LBA: lba, Latency: lat})
+	} else if done != nil {
+		done(WriteResult{Err: err, Latency: lat})
+	}
+}
+
+// creditGranted continues a ZRWA write once buffer slots are available.
+func (op *writeOp) creditGranted() {
+	d := op.d
+	op.stage = wZXfer
+	d.writeLink.SubmitEvent(op.size*sim.Second/d.cfg.DeviceWriteBW, op)
+}
+
+func (op *writeOp) Fire(s, e sim.Time) {
+	d := op.d
+	switch op.stage {
+	case wFail:
+		op.complete()
+	case wSeqCtrl:
+		op.stage = wSeqXfer
+		d.writeLink.SubmitEvent(op.size*sim.Second/d.cfg.DeviceWriteBW, op)
+	case wSeqXfer:
+		d.tr.Mark(op.span, int64(s), int64(e), obs.LayerZNS, obs.PhaseXfer, d.trDev, op.z, -1)
+		op.stage = wSeqBus
+		d.chans[op.zn.channel].writeBus.SubmitEvent(op.size*sim.Second/d.cfg.ChannelWriteBW, op)
+	case wSeqBus:
+		d.tr.Mark(op.span, int64(s), int64(e), obs.LayerZNS, obs.PhaseBus, d.trDev, op.z, op.zn.channel)
+		op.stage = wSeqDie
+		d.chans[op.zn.channel].dies.SubmitEvent(op.size*sim.Second/d.cfg.DieWriteBW, op)
+	case wSeqDie:
+		d.tr.Mark(op.span, int64(s), int64(e), obs.LayerZNS, obs.PhaseDie, d.trDev, op.z, op.zn.channel)
+		if d.cfg.StoreData {
+			d.storeDirect(op.zn, op.lba, int(op.n), op.data, op.oob)
+		}
+		d.stats.ProgrammedBytes[op.tag] += uint64(op.size)
+		op.complete()
+	case wZCtrl:
+		d.acquireCreditOp(op.zn, op)
+	case wZXfer:
+		d.tr.Mark(op.span, int64(s), int64(e), obs.LayerZNS, obs.PhaseXfer, d.trDev, op.z, -1)
+		op.stage = wZBuf
+		now := d.eng.Now()
+		d.eng.AtEvent(now+d.cfg.BufWriteLatency, op, now, now+d.cfg.BufWriteLatency)
+	case wZBuf:
+		d.tr.Mark(op.span, int64(s), int64(e), obs.LayerZNS, obs.PhaseBuffer, d.trDev, op.z, -1)
+		op.complete()
+	}
+}
+
+// readOp stages.
+const (
+	rFail = iota // validation failed
+	rCtrl        // controller overhead done -> buffer or flash path
+	rBuf         // DRAM buffer read done -> host link transfer
+	rBus         // channel read bus done -> die read
+	rDie         // die read done -> host link transfer
+	rXfer        // host link done -> complete
+)
+
+type readOp struct {
+	d        *Device
+	zn       *zone
+	z        int
+	lba      int64
+	n        int64
+	size     int64
+	inBuffer bool
+	span     obs.SpanID
+	ownSpan  bool
+	start    sim.Time
+	err      error
+	stage    uint8
+	done     func(ReadResult)
+}
+
+func (d *Device) getReadOp() *readOp {
+	if n := len(d.ropFree); n > 0 {
+		op := d.ropFree[n-1]
+		d.ropFree = d.ropFree[:n-1]
+		return op
+	}
+	return &readOp{d: d}
+}
+
+func (d *Device) putReadOp(op *readOp) {
+	*op = readOp{d: d}
+	d.ropFree = append(d.ropFree, op)
+}
+
+func (op *readOp) fail(err error) {
+	if op.done == nil && !op.ownSpan {
+		op.d.putReadOp(op)
+		return
+	}
+	op.err = err
+	op.stage = rFail
+	op.d.eng.AfterEvent(op.d.cfg.CmdOverhead, op, 0, 0)
+}
+
+func (op *readOp) complete(res ReadResult) {
+	d := op.d
+	if op.ownSpan {
+		d.tr.SpanEnd(op.span, int64(d.eng.Now()), res.Err != nil)
+	}
+	done := op.done
+	res.Latency = d.eng.Now() - op.start
+	d.putReadOp(op)
+	if done != nil {
+		done(res)
+	}
+}
+
+// gather assembles the read payload at completion time (StoreData only):
+// buffered blocks win over flash contents, matching what a real device
+// would return from its write buffer.
+func (op *readOp) gather() ReadResult {
+	d, zn := op.d, op.zn
+	if !d.cfg.StoreData {
+		return ReadResult{}
+	}
+	data := make([]byte, op.size)
+	oob := make([][]byte, op.n)
+	bs := int64(d.cfg.BlockSize)
+	for i := int64(0); i < op.n; i++ {
+		b := op.lba + i
+		var src, so []byte
+		if zn.dirty != nil {
+			if bb, ok := zn.dirty[b]; ok {
+				src, so = bb.data, bb.oob
+			} else if bb, ok := zn.pending[b]; ok {
+				src, so = bb.data, bb.oob
+			}
+		}
+		if src == nil && zn.data != nil {
+			src, so = zn.data[b], zn.oob[b]
+		}
+		if src != nil {
+			copy(data[i*bs:(i+1)*bs], src)
+		}
+		if so != nil {
+			oob[i] = append([]byte(nil), so...)
+		}
+	}
+	return ReadResult{Data: data, OOB: oob}
+}
+
+func (op *readOp) Fire(s, e sim.Time) {
+	d := op.d
+	switch op.stage {
+	case rFail:
+		op.complete(ReadResult{Err: op.err})
+	case rCtrl:
+		if op.inBuffer {
+			op.stage = rBuf
+			now := d.eng.Now()
+			d.eng.AtEvent(now+d.cfg.BufReadLatency, op, now, now+d.cfg.BufReadLatency)
+			return
+		}
+		op.stage = rBus
+		d.chans[op.zn.channel].readBus.SubmitEvent(op.size*sim.Second/d.cfg.ChannelReadBW, op)
+	case rBuf:
+		d.tr.Mark(op.span, int64(s), int64(e), obs.LayerZNS, obs.PhaseBuffer, d.trDev, op.z, -1)
+		op.stage = rXfer
+		d.readLink.SubmitEvent(op.size*sim.Second/d.cfg.DeviceReadBW, op)
+	case rBus:
+		d.tr.Mark(op.span, int64(s), int64(e), obs.LayerZNS, obs.PhaseBus, d.trDev, op.z, op.zn.channel)
+		op.stage = rDie
+		d.chans[op.zn.channel].dies.SubmitEvent(d.cfg.DieReadLatency+op.size*sim.Second/d.cfg.DieReadBW, op)
+	case rDie:
+		d.tr.Mark(op.span, int64(s), int64(e), obs.LayerZNS, obs.PhaseDie, d.trDev, op.z, op.zn.channel)
+		op.stage = rXfer
+		d.readLink.SubmitEvent(op.size*sim.Second/d.cfg.DeviceReadBW, op)
+	case rXfer:
+		d.tr.Mark(op.span, int64(s), int64(e), obs.LayerZNS, obs.PhaseXfer, d.trDev, op.z, -1)
+		op.complete(op.gather())
+	}
+}
+
+// programOp drives one flash program batch: channel bus transfer, then die
+// program, then persistence/accounting and buffer-credit release.
+const (
+	pBus = iota
+	pDie
+)
+
+type programOp struct {
+	d      *Device
+	zn     *zone
+	start  int64
+	blocks []*bufBlock
+	stage  uint8
+}
+
+func (d *Device) getProgramOp() *programOp {
+	if n := len(d.popFree); n > 0 {
+		op := d.popFree[n-1]
+		d.popFree = d.popFree[:n-1]
+		return op
+	}
+	return &programOp{d: d}
+}
+
+func (op *programOp) Fire(s, e sim.Time) {
+	d, zn := op.d, op.zn
+	chIdx := zn.channel
+	ch := d.chans[chIdx]
+	nblk := len(op.blocks)
+	switch op.stage {
+	case pBus:
+		d.tr.Segment(int64(s), int64(e), obs.LayerZNS, obs.SegProgramBus, d.trDev, zn.idx, chIdx, nblk)
+		op.stage = pDie
+		dieTime := int64(nblk) * int64(d.cfg.BlockSize) * sim.Second / d.cfg.DieWriteBW
+		ch.dies.SubmitEvent(dieTime, op)
+	case pDie:
+		d.tr.Segment(int64(s), int64(e), obs.LayerZNS, obs.SegProgramDie, d.trDev, zn.idx, chIdx, nblk)
+		for i, bb := range op.blocks {
+			b := op.start + int64(i)
+			delete(zn.pending, b)
+			if d.cfg.StoreData {
+				if zn.data == nil {
+					zn.data = make(map[int64][]byte)
+					zn.oob = make(map[int64][]byte)
+				}
+				// Ownership of the buffers transfers to the flash store.
+				if bb.data != nil {
+					zn.data[b] = bb.data
+					bb.data = nil
+				}
+				if bb.oob != nil {
+					zn.oob[b] = bb.oob
+					bb.oob = nil
+				}
+			}
+			d.stats.ProgrammedBytes[bb.tag] += uint64(d.cfg.BlockSize)
+			d.putBufBlock(bb)
+			op.blocks[i] = nil
+		}
+		n := int64(nblk)
+		d.putRun(op.blocks)
+		op.blocks = nil
+		*op = programOp{d: d}
+		d.popFree = append(d.popFree, op)
+		d.releaseCredit(zn, n)
+	}
+}
+
+// bufBlock / scratch-buffer free lists. Data and OOB copies in the write
+// buffer are recycled when their flash program retires (StoreData hands
+// them over to the flash store instead, so only the record recycles).
+
+func (d *Device) getBufBlock() *bufBlock {
+	if n := len(d.bbFree); n > 0 {
+		bb := d.bbFree[n-1]
+		d.bbFree = d.bbFree[:n-1]
+		return bb
+	}
+	return &bufBlock{}
+}
+
+func (d *Device) putBufBlock(bb *bufBlock) {
+	if bb.data != nil {
+		d.dataFree = append(d.dataFree, bb.data)
+	}
+	if bb.oob != nil {
+		d.oobFree = append(d.oobFree, bb.oob)
+	}
+	*bb = bufBlock{}
+	d.bbFree = append(d.bbFree, bb)
+}
+
+// setData copies src into the block's data scratch, reusing pooled buffers.
+func (d *Device) setData(bb *bufBlock, src []byte) {
+	if bb.data == nil {
+		if n := len(d.dataFree); n > 0 {
+			bb.data = d.dataFree[n-1]
+			d.dataFree = d.dataFree[:n-1]
+		} else {
+			bb.data = make([]byte, d.cfg.BlockSize)
+		}
+	}
+	bb.data = append(bb.data[:0], src...)
+}
+
+// setOOB copies src into the block's OOB scratch, reusing pooled buffers.
+func (d *Device) setOOB(bb *bufBlock, src []byte) {
+	if bb.oob == nil {
+		if n := len(d.oobFree); n > 0 {
+			bb.oob = d.oobFree[n-1]
+			d.oobFree = d.oobFree[:n-1]
+		} else {
+			bb.oob = make([]byte, 0, len(src))
+		}
+	}
+	bb.oob = append(bb.oob[:0], src...)
+}
+
+// getRun / putRun recycle the per-batch block slices used by commitRange.
+func (d *Device) getRun() []*bufBlock {
+	if n := len(d.runFree); n > 0 {
+		r := d.runFree[n-1]
+		d.runFree = d.runFree[:n-1]
+		return r
+	}
+	return make([]*bufBlock, 0, 16)
+}
+
+func (d *Device) putRun(r []*bufBlock) {
+	d.runFree = append(d.runFree, r[:0])
+}

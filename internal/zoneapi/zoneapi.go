@@ -35,6 +35,21 @@ type Backend interface {
 	Finish(z int) error
 }
 
+// DataStorer is optionally implemented by backends that know whether their
+// reads return payloads (see blockdev.DataStorer).
+type DataStorer interface {
+	StoresData() bool
+}
+
+// StoresData reports whether b retains payloads; backends that do not
+// implement DataStorer are assumed to.
+func StoresData(b Backend) bool {
+	if s, ok := b.(DataStorer); ok {
+		return s.StoresData()
+	}
+	return true
+}
+
 // SingleDevice adapts one ZNS SSD behind a driver queue to Backend. The
 // queue should have ZoneOrdered set unless the caller serializes writes
 // itself (dm-zap does: one in-flight write per zone).
@@ -66,6 +81,9 @@ func (s SingleDevice) Write(z int, lba int64, nblocks int, data []byte, tag zns.
 func (s SingleDevice) Read(z int, lba int64, nblocks int, done func(zns.ReadResult)) {
 	s.Q.Read(z, lba, nblocks, done)
 }
+
+// StoresData implements DataStorer.
+func (s SingleDevice) StoresData() bool { return s.Q.Device().Config().StoreData }
 
 // Reset implements Backend.
 func (s SingleDevice) Reset(z int, done func(error)) { s.Q.Reset(z, done) }

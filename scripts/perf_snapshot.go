@@ -1,0 +1,226 @@
+//go:build ignore
+
+// Command perf_snapshot measures the simulator's hot-path performance and
+// writes BENCH_perf.json, the committed perf-trajectory artifact:
+//
+//   - the end-to-end fig10 sweep: wall time, simulated virtual time, and
+//     simulated-ns-per-wall-second (the headline throughput metric);
+//   - erasure.Encode throughput for the wide (8-bytes-per-step split-table)
+//     kernels against a byte-at-a-time GF(256) reference, as MB/s and
+//     speedup ratios.
+//
+// The "gobench" field carries the same numbers in Go benchmark text
+// format so CI can diff snapshots with benchstat.
+//
+// Usage: go run scripts/perf_snapshot.go [-o BENCH_perf.json] [-seed-wall-ns N]
+//
+// -seed-wall-ns anchors the fig10 speedup ratio to a baseline wall time
+// (nanoseconds) measured on the same machine at an earlier commit; pass 0
+// to omit the ratio.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"biza/internal/bench"
+	"biza/internal/erasure"
+)
+
+// gfExp/gfLog replicate the byte-at-a-time log/exp kernel the repository
+// used before the wide split-table rework (the same implementation the
+// in-package scalar oracle preserves), so the recorded speedup is new
+// Encode versus the code it replaced.
+var gfExp, gfLog = func() ([512]byte, [256]byte) {
+	var exp [512]byte
+	var log [256]byte
+	x := 1
+	for i := 0; i < 255; i++ {
+		exp[i] = byte(x)
+		log[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+	for i := 255; i < 512; i++ {
+		exp[i] = exp[i-255]
+	}
+	return exp, log
+}()
+
+// refEncode computes parity with the Vandermonde rows the Coder exposes,
+// one byte at a time: the scalar baseline for the speedup ratio.
+func refEncode(rows [][]byte, data, parity [][]byte) {
+	for r := range parity {
+		p := parity[r]
+		for i := range p {
+			p[i] = 0
+		}
+		for col := range data {
+			c := rows[r][col]
+			src := data[col]
+			if c == 0 {
+				continue
+			}
+			if c == 1 {
+				for i := range src {
+					p[i] ^= src[i]
+				}
+				continue
+			}
+			logC := int(gfLog[c])
+			for i, s := range src {
+				if s != 0 {
+					p[i] ^= gfExp[logC+int(gfLog[s])]
+				}
+			}
+		}
+	}
+}
+
+type encodeResult struct {
+	K          int     `json:"k"`
+	M          int     `json:"m"`
+	BlockBytes int     `json:"block_bytes"`
+	WideMBps   float64 `json:"wide_mb_per_s"`
+	ScalarMBps float64 `json:"scalar_mb_per_s"`
+	Speedup    float64 `json:"speedup"`
+}
+
+func benchEncode(k, m, blockBytes int) encodeResult {
+	c, err := erasure.NewCoder(k, m)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, blockBytes)
+		rng.Read(data[i])
+	}
+	parity := make([][]byte, m)
+	for i := range parity {
+		parity[i] = make([]byte, blockBytes)
+	}
+	rows := c.ParityRows()
+	mbPerS := func(r testing.BenchmarkResult) float64 {
+		bytesPerOp := float64(k * blockBytes)
+		return bytesPerOp * float64(r.N) / r.T.Seconds() / 1e6
+	}
+	wide := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := c.Encode(data, parity); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	scalar := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			refEncode(rows, data, parity)
+		}
+	})
+	res := encodeResult{
+		K: k, M: m, BlockBytes: blockBytes,
+		WideMBps:   mbPerS(wide),
+		ScalarMBps: mbPerS(scalar),
+	}
+	if res.ScalarMBps > 0 {
+		res.Speedup = res.WideMBps / res.ScalarMBps
+	}
+	return res
+}
+
+type fig10Result struct {
+	Experiment    string  `json:"experiment"`
+	Seed          uint64  `json:"seed"`
+	WallNs        int64   `json:"wall_ns"`
+	SimNs         int64   `json:"sim_ns"`
+	SimNsPerWallS float64 `json:"sim_ns_per_wall_s"`
+	SeedWallNs    int64   `json:"seed_wall_ns,omitempty"`
+	SeedCommit    string  `json:"seed_commit,omitempty"`
+	Speedup       float64 `json:"speedup_vs_seed,omitempty"`
+}
+
+type snapshot struct {
+	Schema  string         `json:"schema"`
+	Go      string         `json:"go"`
+	Fig10   fig10Result    `json:"fig10"`
+	Encode  []encodeResult `json:"encode"`
+	GoBench []string       `json:"gobench"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_perf.json", "output path")
+	seedWall := flag.Int64("seed-wall-ns", 0,
+		"baseline fig10 wall time (ns) from the pre-optimization commit; 0 omits the ratio")
+	seedCommit := flag.String("seed-commit", "", "commit the baseline was measured at")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	fmt.Fprintln(os.Stderr, "perf_snapshot: running fig10...")
+	rep := (&bench.Runner{Scale: bench.DefaultScale(), Seed: *seed, Parallel: 1}).Run([]string{"fig10"})
+	res := &rep.Results[0]
+	if res.Error != "" {
+		fmt.Fprintf(os.Stderr, "fig10 failed: %s\n", res.Error)
+		os.Exit(1)
+	}
+	f10 := fig10Result{
+		Experiment: "fig10",
+		Seed:       *seed,
+		WallNs:     rep.WallNanos,
+		SimNs:      res.Stats.VirtualNanos,
+	}
+	if f10.WallNs > 0 {
+		f10.SimNsPerWallS = float64(f10.SimNs) / (float64(f10.WallNs) / 1e9)
+	}
+	if *seedWall > 0 {
+		f10.SeedWallNs = *seedWall
+		f10.SeedCommit = *seedCommit
+		f10.Speedup = float64(*seedWall) / float64(f10.WallNs)
+	}
+
+	fmt.Fprintln(os.Stderr, "perf_snapshot: running erasure encode...")
+	enc := []encodeResult{
+		benchEncode(4, 2, 4096),
+		benchEncode(8, 3, 4096),
+	}
+
+	snap := snapshot{
+		Schema: "biza-perf/v1",
+		Go:     runtime.Version(),
+		Fig10:  f10,
+		Encode: enc,
+	}
+	snap.GoBench = append(snap.GoBench,
+		fmt.Sprintf("BenchmarkEndToEndFig10 1 %d ns/op %.0f sim-ns/wall-s", f10.WallNs, f10.SimNsPerWallS))
+	for _, e := range enc {
+		snap.GoBench = append(snap.GoBench,
+			fmt.Sprintf("BenchmarkEncodeWide%dx%d 1 %.0f MB/s", e.K, e.M, e.WideMBps),
+			fmt.Sprintf("BenchmarkEncodeScalar%dx%d 1 %.0f MB/s", e.K, e.M, e.ScalarMBps))
+	}
+
+	buf, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: fig10 %.2fs wall, %.0f sim-ns/wall-s", *out,
+		float64(f10.WallNs)/1e9, f10.SimNsPerWallS)
+	if f10.Speedup > 0 {
+		fmt.Printf(", %.2fx vs seed", f10.Speedup)
+	}
+	for _, e := range enc {
+		fmt.Printf("; encode %dx%d %.2fx", e.K, e.M, e.Speedup)
+	}
+	fmt.Println()
+}
