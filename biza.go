@@ -26,12 +26,14 @@ import (
 
 	"biza/internal/blockdev"
 	"biza/internal/core"
+	"biza/internal/fault"
 	"biza/internal/ftl"
 	"biza/internal/kvstore"
 	"biza/internal/lsfs"
 	"biza/internal/metrics"
 	"biza/internal/sim"
 	"biza/internal/stack"
+	"biza/internal/storerr"
 	"biza/internal/zns"
 )
 
@@ -72,7 +74,73 @@ type Options struct {
 	StoreData bool
 	// Seed makes every stochastic element reproducible.
 	Seed uint64
+	// Faults declares a deterministic fault-injection plan, compiled from
+	// Seed and interposed on every member driver queue. See FaultSpec.
+	Faults *FaultSpec
+	// AutoReplace hot-swaps a fresh spare as soon as a member is declared
+	// dead (BIZA kinds only).
+	AutoReplace bool
 }
+
+// FaultSpec declares a deterministic fault-injection plan: an ordered list
+// of rules (transient errors, latency spikes, unreadable blocks, device
+// death, power loss) whose randomness derives entirely from Options.Seed.
+type FaultSpec = fault.Spec
+
+// FaultRule is one declarative failure rule of a FaultSpec.
+type FaultRule = fault.Rule
+
+// FaultKind discriminates fault rules.
+type FaultKind = fault.Kind
+
+// Fault kinds.
+const (
+	FaultTransient   = fault.Transient
+	FaultLatency     = fault.Latency
+	FaultUnreadable  = fault.Unreadable
+	FaultDeviceDeath = fault.DeviceDeath
+	FaultPowerLoss   = fault.PowerLoss
+)
+
+// FaultOp scopes a fault rule to a command class.
+type FaultOp = fault.Op
+
+// Fault command classes (appends count as writes).
+const (
+	FaultAnyOp = fault.AnyOp
+	FaultRead  = fault.Read
+	FaultWrite = fault.Write
+	FaultReset = fault.Reset
+)
+
+// KillDevice returns a rule that kills member dev at virtual time at (ns).
+func KillDevice(dev int, at int64) FaultRule { return fault.KillDevice(dev, sim.Time(at)) }
+
+// PowerCut returns a rule that cuts platform power at virtual time at
+// (ns); the stack crashes and recovers automatically.
+func PowerCut(at int64) FaultRule { return fault.PowerCut(sim.Time(at)) }
+
+// TransientErrors returns a rule failing a fraction rate of dev's
+// commands of class op with a retryable error (dev -1 = all members).
+func TransientErrors(dev int, op FaultOp, rate float64) FaultRule {
+	return fault.TransientErrors(dev, op, rate)
+}
+
+// BadBlocks returns a rule making a block range of one zone permanently
+// unreadable; the array serves those reads via parity reconstruction.
+func BadBlocks(dev, zone int, lba int64, blocks int) FaultRule {
+	return fault.BadBlocks(dev, zone, lba, blocks)
+}
+
+// MemberState is the health of one array member.
+type MemberState = core.MemberState
+
+// Member states.
+const (
+	MemberHealthy    = core.MemberHealthy
+	MemberDegraded   = core.MemberDegraded
+	MemberRebuilding = core.MemberRebuilding
+)
 
 // WriteAmp re-exports the endurance accounting type.
 type WriteAmp = metrics.WriteAmp
@@ -89,11 +157,13 @@ func New(opts Options) (*Array, error) {
 		kind = BIZA
 	}
 	sopts := stack.Options{
-		Members:    opts.Members,
-		ZNS:        opts.ZNS,
-		FTL:        opts.FTL,
-		Seed:       opts.Seed,
-		BIZAConfig: opts.Engine,
+		Members:     opts.Members,
+		ZNS:         opts.ZNS,
+		FTL:         opts.FTL,
+		Seed:        opts.Seed,
+		BIZAConfig:  opts.Engine,
+		Faults:      opts.Faults,
+		AutoReplace: opts.AutoReplace,
 	}
 	if opts.StoreData {
 		if sopts.ZNS.NumZones == 0 {
@@ -137,10 +207,17 @@ func (a *Array) Now() int64 { return a.p.Eng.Now() }
 // queue drained (internal deadlock — please report).
 var ErrIncomplete = errors.New("biza: operation did not complete")
 
+// ErrCrashed reports I/O submitted between Crash and a successful
+// Recover.
+var ErrCrashed = storerr.ErrCrashed
+
 // WriteSync writes nblocks at lba and drives the simulation until the
 // write completes. data may be nil (traffic without payload) or hold
 // nblocks*BlockSize bytes.
 func (a *Array) WriteSync(lba int64, nblocks int, data []byte) error {
+	if a.p.Crashed() {
+		return ErrCrashed
+	}
 	var res blockdev.WriteResult
 	ok := false
 	a.p.Dev.Write(lba, nblocks, data, func(r blockdev.WriteResult) { res = r; ok = true })
@@ -154,6 +231,9 @@ func (a *Array) WriteSync(lba int64, nblocks int, data []byte) error {
 // ReadSync reads nblocks at lba, driving the simulation to completion.
 // The returned payload is nil unless the array stores data.
 func (a *Array) ReadSync(lba int64, nblocks int) ([]byte, error) {
+	if a.p.Crashed() {
+		return nil, ErrCrashed
+	}
 	var res blockdev.ReadResult
 	ok := false
 	a.p.Dev.Read(lba, nblocks, func(r blockdev.ReadResult) { res = r; ok = true })
@@ -203,6 +283,47 @@ func (a *Array) ReplaceDevice(dev int) error {
 	var rerr error
 	ok := false
 	a.p.ReplaceDevice(dev, func(err error) { rerr = err; ok = true })
+	a.p.Eng.Run()
+	if !ok {
+		return ErrIncomplete
+	}
+	return rerr
+}
+
+// Health reports the state of every member (BIZA kinds only; nil
+// otherwise). A dead or failed member reads as degraded while its chunks
+// are served via parity reconstruction; rebuilding members are mid
+// ReplaceDevice.
+func (a *Array) Health() []MemberState {
+	if a.p.BIZA == nil {
+		return nil
+	}
+	return a.p.BIZA.Health()
+}
+
+// Reconstructions reports how many chunk reads were served by parity
+// reconstruction instead of the owning member (BIZA kinds only).
+func (a *Array) Reconstructions() uint64 {
+	if a.p.BIZA == nil {
+		return 0
+	}
+	return a.p.BIZA.Reconstructions()
+}
+
+// Crash models a host power loss: in-flight commands die with their
+// driver queues and unacknowledged write-buffer contents are dropped
+// (acknowledged ZRWA blocks harden, PLP-style). I/O fails with ErrCrashed
+// until Recover succeeds. BIZA kinds only.
+func (a *Array) Crash() error { return a.p.Crash() }
+
+// Recover restarts a crashed array: fresh driver queues attach to the
+// surviving devices and the mapping tables are rebuilt from the per-block
+// OOB records, driving the simulation until the scan completes. All
+// acknowledged data is readable afterwards.
+func (a *Array) Recover() error {
+	var rerr error
+	ok := false
+	a.p.Recover(func(err error) { rerr = err; ok = true })
 	a.p.Eng.Run()
 	if !ok {
 		return ErrIncomplete

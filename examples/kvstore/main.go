@@ -35,5 +35,8 @@ func main() {
 		fmt.Printf("%-12s %9.0f ops/s  errors=%d  flushes=%d compactions=%d  flushed=%dMB compacted=%dMB\n",
 			name, res.OpsPerSec(), res.Errors, flushes, compactions,
 			flushed>>20, compacted>>20)
+		if res.Errors > 0 {
+			log.Fatalf("%s: %d operations failed", name, res.Errors)
+		}
 	}
 }

@@ -261,7 +261,7 @@ func registerPoints(id string, points []string, fn func(Scale, *Run, string) []*
 func IDs() []string {
 	order := []string{"table2", "table3", "table6", "fig4", "fig5", "fig10",
 		"fig11", "fig12", "fig13a", "fig13b", "fig14", "fig15", "fig16", "fig17",
-		"detect", "batching", "wear", "append", "future"}
+		"detect", "batching", "wear", "append", "avail", "future"}
 	var out []string
 	for _, id := range order {
 		if _, ok := Experiments[id]; ok {

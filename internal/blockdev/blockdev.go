@@ -5,10 +5,11 @@
 package blockdev
 
 import (
-	"errors"
+	"fmt"
 
 	"biza/internal/metrics"
 	"biza/internal/sim"
+	"biza/internal/storerr"
 )
 
 // WriteResult is the completion of a Write or Flush.
@@ -64,10 +65,12 @@ func StoresData(d Device) bool {
 	return true
 }
 
-// Common errors shared by block-layer implementations.
+// Common errors shared by block-layer implementations. Both wrap the
+// canonical sentinels in internal/storerr, so errors.Is matches either
+// identity (see that package).
 var (
 	// ErrOutOfRange reports I/O beyond device capacity.
-	ErrOutOfRange = errors.New("blockdev: address out of range")
+	ErrOutOfRange = fmt.Errorf("blockdev: address out of range: %w", storerr.ErrOutOfRange)
 	// ErrBadArgument reports malformed request parameters.
-	ErrBadArgument = errors.New("blockdev: bad argument")
+	ErrBadArgument = fmt.Errorf("blockdev: bad argument: %w", storerr.ErrBadArgument)
 )

@@ -164,6 +164,12 @@ type smtEntry struct {
 	// concurrent updates to one stripe must serialize or deltas are lost.
 	ipBusy bool
 	ipq    []func()
+
+	// dissolving marks a stripe claimed by GC or rebuild. In-place updates
+	// mutate slot content without moving the bmt mapping, so a migration
+	// racing one would re-home the pre-update content and silently lose an
+	// acknowledged write; once set, rewrites take the append path instead.
+	dissolving bool
 }
 
 // Core is the BIZA engine. It implements blockdev.Device.
@@ -183,6 +189,17 @@ type Core struct {
 	smt      map[int64]*smtEntry
 	gcPinned map[int64]bool // blocks being migrated: in-place updates defer
 	failed   []bool         // per-device failure flags (degraded mode)
+
+	// Member health (see health.go): dead is permanent device death
+	// detected from completion errors; failed additionally routes reads
+	// through reconstruction during rebuilds; rebuilding tracks an
+	// in-progress ReplaceDevice for Health reporting.
+	dead           []bool
+	rebuilding     []bool
+	onDeath        func(dev int)
+	reconstructs   []uint64 // per-member chunks served via parity
+	reconTotal     uint64
+	degradedWrites uint64 // chunk writes acked while their member was down
 
 	// allocWaiters holds writes parked on transient open-slot exhaustion.
 	allocWaiters []func()
@@ -294,7 +311,10 @@ func New(queues []*nvme.Queue, cfg Config, acct *cpumodel.Accountant) (*Core, er
 		smt:        make(map[int64]*smtEntry),
 		gcPinned:   make(map[int64]bool),
 		failed:     make([]bool, len(queues)),
+		dead:       make([]bool, len(queues)),
+		rebuilding: make([]bool, len(queues)),
 	}
+	c.reconstructs = make([]uint64, len(queues))
 	totalZRWA := uint64(base.ZRWABlocks) * uint64(base.BlockSize) * uint64(base.MaxOpenZones) * uint64(len(queues))
 	gcfg := cfg.Ghost
 	if gcfg.LRUEntries == 0 {

@@ -11,6 +11,7 @@ import (
 // a channel whose identity was confirmed by diagnosis) correct the guess.
 func (c *Core) observeLatency(ds *devState, zs *zoneState, r zns.WriteResult) {
 	if r.Err != nil {
+		c.noteIOError(ds.id, r.Err)
 		return
 	}
 	lat := float64(r.Latency)

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"biza/internal/obs"
+	"biza/internal/storerr"
 	"biza/internal/zns"
 )
 
@@ -66,7 +67,8 @@ func (c *Core) gcStep(ds *devState) {
 		}
 	}
 	finish := func() {
-		ds.q.Reset(victim, func(error) {
+		ds.q.Reset(victim, func(err error) {
+			c.noteIOError(ds.id, err)
 			for _, r := range releases {
 				r()
 			}
@@ -113,6 +115,15 @@ func (c *Core) dissolveStripe(sn int64, done func()) {
 	se := c.smt[sn]
 	if se == nil {
 		done()
+		return
+	}
+	// Claim the stripe: later rewrites of its blocks append elsewhere (the
+	// bmt guard in migrate() then skips them). An in-place update already in
+	// flight mutates slot content without remapping — invisible to that
+	// guard — so wait for it to finish before capturing the live set.
+	se.dissolving = true
+	if se.ipBusy {
+		se.ipq = append(se.ipq, func() { c.dissolveStripe(sn, done) })
 		return
 	}
 	if !se.sealed {
@@ -186,6 +197,21 @@ func (c *Core) dissolveStripe(sn int64, done func()) {
 			continue
 		}
 		c.devs[m.p.dev].q.Read(m.p.zone, m.p.off, 1, func(r zns.ReadResult) {
+			if r.Err != nil {
+				c.noteIOError(m.p.dev, r.Err)
+				if storerr.Reconstructable(r.Err) {
+					// The source member died (or rotted) under the read:
+					// rebuild the chunk from the survivors instead.
+					c.reconstructChunk(m.lbn, func(data []byte, err error) {
+						if err != nil {
+							finishOne(m.lbn)
+							return
+						}
+						migrate(m.lbn, m.p, data)
+					})
+					return
+				}
+			}
 			migrate(m.lbn, m.p, r.Data)
 		})
 	}

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"biza/internal/blockdev"
+	"biza/internal/fault"
 	"biza/internal/nvme"
 	"biza/internal/sim"
 	"biza/internal/zns"
@@ -217,4 +218,120 @@ func TestModelConcurrentDepth(t *testing.T) {
 		}
 	}
 	_ = fmt.Sprint
+}
+
+func TestModelChaosWithFaults(t *testing.T) {
+	// The randomized model checker under an adversarial fault schedule:
+	// transient errors on every member, a latency spike on one, and a
+	// mid-run member death followed by a hot-swap — every read result is
+	// still checked byte-for-byte against the reference model.
+	eng, c, _ := newCore(t, nil)
+	const deadDev = 3
+	plan, err := fault.Compile(&fault.Spec{Rules: []fault.Rule{
+		fault.TransientErrors(-1, fault.AnyOp, 0.01),
+		{Kind: fault.Latency, Dev: 1, Op: fault.Read, Delay: 30 * sim.Microsecond},
+		{Kind: fault.DeviceDeath, Dev: deadDev, AfterOps: 2500},
+	}}, 4242, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ds := range c.devs {
+		ds.q.SetInjector(plan.Injector(i))
+	}
+
+	rng := sim.NewRNG(777)
+	version := make(map[int64]int)
+	bs := c.blockSize
+	span := int64(300)
+	writeN := func(lba int64, n int) {
+		data := make([]byte, n*bs)
+		for i := 0; i < n; i++ {
+			v := version[lba+int64(i)] + 1
+			version[lba+int64(i)] = v
+			copy(data[i*bs:], modelPattern(lba+int64(i), v, bs))
+		}
+		var werr error
+		ok := false
+		c.Write(lba, n, data, func(r blockdev.WriteResult) { werr = r.Err; ok = true })
+		eng.Run()
+		if !ok || werr != nil {
+			t.Fatalf("chaos write lba=%d n=%d: ok=%v err=%v", lba, n, ok, werr)
+		}
+	}
+	checkN := func(lba int64, n int) {
+		var got []byte
+		var rerr error
+		c.Read(lba, n, func(r blockdev.ReadResult) { got, rerr = r.Data, r.Err })
+		eng.Run()
+		if rerr != nil {
+			t.Fatalf("chaos read lba=%d n=%d: %v", lba, n, rerr)
+		}
+		for i := 0; i < n; i++ {
+			blk := lba + int64(i)
+			want := make([]byte, bs)
+			if v, ok := version[blk]; ok && v > 0 {
+				want = modelPattern(blk, v, bs)
+			}
+			if !bytes.Equal(got[i*bs:(i+1)*bs], want) {
+				t.Fatalf("chaos model mismatch at lba %d (version %d)", blk, version[blk])
+			}
+		}
+	}
+
+	const steps = 2500
+	replaced := false
+	for i := 0; i < steps; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4:
+			n := 1 + rng.Intn(4)
+			var lba int64
+			if rng.Intn(2) == 0 {
+				lba = rng.Int63n(48)
+			} else {
+				lba = rng.Int63n(span - int64(n))
+			}
+			writeN(lba, n)
+		case 5, 6, 7, 8:
+			n := 1 + rng.Intn(4)
+			checkN(rng.Int63n(span-int64(n)), n)
+		case 9:
+			n := 1 + rng.Intn(4)
+			lba := rng.Int63n(span - int64(n))
+			c.Trim(lba, n)
+			for j := 0; j < n; j++ {
+				delete(version, lba+int64(j))
+			}
+		}
+		// Once the scheduled death lands, swap in a spare mid-run (the
+		// spare sits outside the fault plan).
+		if !replaced && c.Health()[deadDev] == MemberDegraded {
+			dc := devConfig()
+			dc.Seed = 31000
+			nd, err := zns.New(eng, dc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nq := nvme.New(nd, nvme.Config{ReorderWindow: 5 * sim.Microsecond, Seed: 31001})
+			var rerr error
+			okR := false
+			c.ReplaceDevice(deadDev, nq, func(err error) { rerr = err; okR = true })
+			eng.Run()
+			if !okR || rerr != nil {
+				t.Fatalf("chaos replace at step %d: ok=%v err=%v", i, okR, rerr)
+			}
+			replaced = true
+		}
+	}
+	if !replaced {
+		t.Fatal("fault schedule never killed the member — chaos run degenerate")
+	}
+	if plan.Injector(0).Injected() == 0 {
+		t.Fatal("no transient faults injected — chaos run degenerate")
+	}
+	// Full verification sweep against the model.
+	for lba := int64(0); lba < span; lba++ {
+		if v, ok := version[lba]; ok && v > 0 {
+			checkN(lba, 1)
+		}
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"biza/internal/cpumodel"
 	"biza/internal/obs"
 	"biza/internal/sim"
+	"biza/internal/storerr"
 	"biza/internal/zns"
 )
 
@@ -108,6 +109,24 @@ func (c *Core) Read(lba int64, nblocks int, done func(blockdev.ReadResult)) {
 		r := r
 		c.acct.Charge(cpumodel.CompIO, cpumodel.CostSubmission)
 		c.devs[r.dev].q.Read(r.zone, r.off, len(r.bufIdx), func(res zns.ReadResult) {
+			if res.Err != nil {
+				c.noteIOError(r.dev, res.Err)
+				if storerr.Reconstructable(res.Err) {
+					// The member died (or the blocks rotted) under this
+					// read: serve each block through parity instead.
+					outstanding += len(r.bufIdx) - 1
+					for _, idx := range r.bufIdx {
+						idx := idx
+						c.reconstructChunk(lba+idx, func(data []byte, err error) {
+							if data != nil && buf != nil {
+								copy(buf[idx*bs:(idx+1)*bs], data)
+							}
+							finishOne(err)
+						})
+					}
+					return
+				}
+			}
 			if res.Data != nil {
 				for j, idx := range r.bufIdx {
 					copy(buf[idx*bs:(idx+1)*bs], res.Data[int64(j)*bs:(int64(j)+1)*bs])
@@ -137,6 +156,11 @@ func (c *Core) reconstructChunk(lbn int64, done func([]byte, error)) {
 	if !ok {
 		done(nil, nil)
 		return
+	}
+	inner := done
+	done = func(data []byte, err error) {
+		c.noteReconstruct(e.pa.dev, lbn, err)
+		inner(data, err)
 	}
 	se := c.smt[e.sn]
 	if se == nil {
@@ -201,12 +225,17 @@ func (c *Core) reconstructChunk(lbn int64, done func([]byte, error)) {
 	for _, f := range fetches {
 		f := f
 		c.devs[f.p.dev].q.Read(f.p.zone, f.p.off, 1, func(r zns.ReadResult) {
-			if r.Err != nil && firstErr == nil {
-				firstErr = r.Err
+			if r.Err != nil {
+				c.noteIOError(f.p.dev, r.Err)
+				// A reconstructable fetch failure just leaves this shard
+				// missing — the code may still recover from the rest.
+				if !storerr.Reconstructable(r.Err) && firstErr == nil {
+					firstErr = r.Err
+				}
 			}
 			if r.Data != nil {
 				shards[f.idx] = r.Data
-			} else if firstErr == nil {
+			} else if r.Err == nil {
 				shards[f.idx] = make([]byte, c.blockSize)
 			}
 			remaining--

@@ -40,10 +40,23 @@ func (c *Core) ReplaceDevice(dev int, q *nvme.Queue, done func(error)) {
 		return
 	}
 	ds.diagnose(c.cfg.DiagnoseZones)
+	old := c.memberState(dev)
 	c.devs[dev] = ds
 	// Until the rebuild completes, reads of chunks that lived on the old
-	// member reconstruct from the survivors.
+	// member reconstruct from the survivors. The fresh device itself is
+	// alive: clear the death flag so writes land on it again.
+	c.dead[dev] = false
 	c.failed[dev] = true
+	c.rebuilding[dev] = true
+	if c.memberState(dev) != old {
+		c.traceMemberState(dev, old)
+	}
+	finishRebuild := func() {
+		prev := c.memberState(dev)
+		c.failed[dev] = false
+		c.rebuilding[dev] = false
+		c.traceMemberState(dev, prev)
+	}
 
 	// Every stripe with a data or parity slot on the member needs
 	// dissolution.
@@ -68,7 +81,7 @@ func (c *Core) ReplaceDevice(dev int, q *nvme.Queue, done func(error)) {
 
 	remaining := len(sns)
 	if remaining == 0 {
-		c.failed[dev] = false
+		finishRebuild()
 		fail(nil)
 		return
 	}
@@ -76,7 +89,7 @@ func (c *Core) ReplaceDevice(dev int, q *nvme.Queue, done func(error)) {
 		c.dissolveStripe(sn, func() {
 			remaining--
 			if remaining == 0 {
-				c.failed[dev] = false
+				finishRebuild()
 				if done != nil {
 					done(nil)
 				}

@@ -53,7 +53,10 @@ func Recover(queues []*nvme.Queue, cfg Config, acct *cpumodel.Accountant, done f
 		smt:        make(map[int64]*smtEntry),
 		gcPinned:   make(map[int64]bool),
 		failed:     make([]bool, len(queues)),
+		dead:       make([]bool, len(queues)),
+		rebuilding: make([]bool, len(queues)),
 	}
+	c.reconstructs = make([]uint64, len(queues))
 	totalZRWA := uint64(base.ZRWABlocks) * uint64(base.BlockSize) * uint64(base.MaxOpenZones) * uint64(len(queues))
 	gcfg := cfg.Ghost
 	if gcfg.LRUEntries == 0 {

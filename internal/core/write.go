@@ -8,6 +8,7 @@ import (
 	"biza/internal/erasure"
 	"biza/internal/obs"
 	"biza/internal/sim"
+	"biza/internal/storerr"
 	"biza/internal/zns"
 )
 
@@ -119,18 +120,21 @@ func (c *Core) writeChunk(lbn int64, payload []byte, class Class, tag zns.WriteT
 // a stripe's parity serializes per stripe (lost-delta and same-slot
 // reorder protection).
 func (c *Core) tryInPlace(lbn int64, e bmtEntry, payload []byte, class Class, tag zns.WriteTag, done func(error)) bool {
+	if c.failed[e.pa.dev] {
+		return false // degraded member: append a fresh copy elsewhere
+	}
 	ds := c.devs[e.pa.dev]
 	zs := ds.zones[e.pa.zone]
 	if zs == nil || zs.sealedF || e.pa.off < zs.devWP(c.zrwaBlocks) || !zs.slotDone(e.pa.off) {
 		return false
 	}
 	se := c.smt[e.sn]
-	if se == nil || !se.sealed {
+	if se == nil || !se.sealed || se.dissolving {
 		return false
 	}
 	// Every parity slot must still be in its window with its append done.
 	for _, ppa := range se.parity {
-		if ppa.dev < 0 {
+		if ppa.dev < 0 || c.failed[ppa.dev] {
 			return false
 		}
 		pzs := c.devs[ppa.dev].zones[ppa.zone]
@@ -169,6 +173,13 @@ func (c *Core) tryInPlace(lbn int64, e bmtEntry, payload []byte, class Class, ta
 	}
 	var firstErr error
 	finish := func(err error) {
+		if err != nil && storerr.Reconstructable(err) && c.degradedOK() {
+			// The slot's member died mid-update; the new content is still
+			// covered by the surviving slots, so the write completes
+			// degraded rather than failing.
+			c.degradedWrites++
+			err = nil
+		}
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -178,11 +189,7 @@ func (c *Core) tryInPlace(lbn int64, e bmtEntry, payload []byte, class Class, ta
 		}
 		if payload != nil {
 			se.ipBusy = false
-			if len(se.ipq) > 0 {
-				next := se.ipq[0]
-				se.ipq = se.ipq[1:]
-				c.eng.After(0, next)
-			}
+			c.ipNext(se)
 		}
 		if done != nil {
 			done(firstErr)
@@ -220,11 +227,35 @@ func (c *Core) tryInPlace(lbn int64, e bmtEntry, payload []byte, class Class, ta
 	// from the block pool; the read results (fresh copies from the device
 	// model) are recycled into it once folded.
 	var oldData []byte
+	var readErr error
 	oldParity := c.getVec(m)
 	reads := 1 + m
 	afterReads := func() {
 		reads--
 		if reads > 0 {
+			return
+		}
+		if readErr != nil {
+			// The old content is unreadable (member death mid-update);
+			// folding unknown deltas would corrupt the surviving parity.
+			// Unwind the in-place attempt and re-home the chunk through
+			// the append path instead.
+			if oldData != nil {
+				c.putBuf(oldData)
+			}
+			for r := 0; r < m; r++ {
+				if oldParity[r] != nil {
+					c.putBuf(oldParity[r])
+				}
+			}
+			c.putVec(oldParity)
+			c.unpin(e.pa)
+			for _, ppa := range se.parity {
+				c.unpin(ppa)
+			}
+			se.ipBusy = false
+			c.ipNext(se)
+			c.appendChunk(lbn, payload, class, tag, done)
 			return
 		}
 		writeData()
@@ -252,6 +283,12 @@ func (c *Core) tryInPlace(lbn int64, e bmtEntry, payload []byte, class Class, ta
 		c.putVec(oldParity)
 	}
 	ds.q.Read(e.pa.zone, e.pa.off, 1, func(r zns.ReadResult) {
+		if r.Err != nil {
+			c.noteIOError(e.pa.dev, r.Err)
+			if readErr == nil {
+				readErr = r.Err
+			}
+		}
 		oldData = r.Data
 		afterReads()
 	})
@@ -259,11 +296,34 @@ func (c *Core) tryInPlace(lbn int64, e bmtEntry, payload []byte, class Class, ta
 		r := r
 		ppa := se.parity[r]
 		c.devs[ppa.dev].q.Read(ppa.zone, ppa.off, 1, func(res zns.ReadResult) {
+			if res.Err != nil {
+				c.noteIOError(ppa.dev, res.Err)
+				if readErr == nil {
+					readErr = res.Err
+				}
+			}
 			oldParity[r] = res.Data
 			afterReads()
 		})
 	}
 	return true
+}
+
+// ipNext drains a stripe's queued rewrites. Each popped entry either takes
+// the in-place path again (sets ipBusy; its completion resumes the drain)
+// or falls through to an append (which never pops), so the drain continues
+// until the stripe is busy or the queue is empty — queued writes can never
+// strand behind a path change (slot flushed, stripe dissolving).
+func (c *Core) ipNext(se *smtEntry) {
+	if se.ipBusy || len(se.ipq) == 0 {
+		return
+	}
+	next := se.ipq[0]
+	se.ipq = se.ipq[1:]
+	c.eng.After(0, func() {
+		next()
+		c.ipNext(se)
+	})
 }
 
 // appendChunk allocates a fresh slot for the chunk, joins it to the open
@@ -340,7 +400,16 @@ func (c *Core) appendChunk(lbn int64, payload []byte, class Class, tag zns.Write
 		oob: c.encodeOOB(oobKindData, lbn, sn, seq, st.count), tag: tag,
 		done: func(r zns.WriteResult) {
 			se.pending--
-			finish(r.Err)
+			err := r.Err
+			if err != nil && storerr.Reconstructable(err) && c.degradedOK() {
+				// The member died under the append. The payload was
+				// already folded into the stripe's parity accumulator
+				// host-side, so the chunk remains reconstructable from
+				// the survivors: acknowledge the write degraded.
+				c.degradedWrites++
+				err = nil
+			}
+			finish(err)
 		},
 	})
 
@@ -389,6 +458,13 @@ func (c *Core) issueParity(st *openStripe, se *smtEntry, class Class, seq uint64
 	remaining := m
 	var firstErr error
 	parityDone := func(err error) {
+		if err != nil && storerr.Reconstructable(err) && c.degradedOK() {
+			// A parity member died: this row is missing, but the data
+			// chunks (and any surviving rows) keep the stripe within its
+			// fault budget.
+			c.degradedWrites++
+			err = nil
+		}
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}

@@ -466,6 +466,22 @@ func (ds *devState) markDone(zs *zoneState, off int64) {
 	zs.doneSet[off] = true
 }
 
+// unpin releases one in-place window pin taken at admission time without
+// a dispatch (the aborted read-modify-write path), letting parked batches
+// slide the window again.
+func (c *Core) unpin(p pa) {
+	ds := c.devs[p.dev]
+	zs := ds.zones[p.zone]
+	if zs == nil {
+		return
+	}
+	zs.ipOffsets[p.off]--
+	if zs.ipOffsets[p.off] <= 0 {
+		delete(zs.ipOffsets, p.off)
+		ds.drain(zs)
+	}
+}
+
 // drain releases queued batches that now fit entirely inside the window.
 func (ds *devState) drain(zs *zoneState) {
 	for len(zs.pendq) > 0 && ds.canAppend(zs, zs.pendq[0].end()-1) {

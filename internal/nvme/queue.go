@@ -12,8 +12,12 @@
 package nvme
 
 import (
+	"errors"
+
+	"biza/internal/fault"
 	"biza/internal/obs"
 	"biza/internal/sim"
+	"biza/internal/storerr"
 	"biza/internal/zns"
 )
 
@@ -27,6 +31,37 @@ type Config struct {
 	// ordering hazard, so they are never held back.
 	ZoneOrdered bool
 	Seed        uint64
+	// MaxRetries bounds how often a command failing with
+	// storerr.ErrTransient is retried before the error surfaces. 0 uses
+	// DefaultMaxRetries; negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// attempt. 0 uses DefaultRetryBackoff.
+	RetryBackoff sim.Time
+}
+
+// Retry defaults: three attempts spaced 20 µs, 40 µs, 80 µs apart —
+// comfortably above device command overhead, far below any host timeout.
+const (
+	DefaultMaxRetries   = 3
+	DefaultRetryBackoff = 20 * sim.Microsecond
+)
+
+func (c *Config) maxRetries() int {
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return DefaultMaxRetries
+	}
+	return c.MaxRetries
+}
+
+func (c *Config) retryBackoff() sim.Time {
+	if c.RetryBackoff <= 0 {
+		return DefaultRetryBackoff
+	}
+	return c.RetryBackoff
 }
 
 // Queue sits between one engine and one ZNS device.
@@ -41,7 +76,11 @@ type Queue struct {
 
 	submitted uint64
 	reordered uint64
+	retries   uint64
 	lastPlan  sim.Time
+
+	inj  *fault.Injector
+	dead bool // Kill()ed: host side gone, commands and completions vanish
 
 	tr       *obs.Trace
 	trDev    int
@@ -66,6 +105,8 @@ type qop struct {
 	span    obs.SpanID
 	start   sim.Time
 	at      sim.Time
+	attempt int  // transient-error retries so far
+	delayed bool // injector already charged its latency for this delivery
 	wdone   func(zns.WriteResult)
 	rdone   func(zns.ReadResult)
 	adone   func(zns.AppendResult)
@@ -74,6 +115,7 @@ type qop struct {
 	wfwd func(zns.WriteResult)
 	rfwd func(zns.ReadResult)
 	afwd func(zns.AppendResult)
+	efwd func(error)
 }
 
 const (
@@ -93,18 +135,89 @@ func (q *Queue) getOp() *qop {
 	op.wfwd = func(r zns.WriteResult) { op.finishWrite(r) }
 	op.rfwd = func(r zns.ReadResult) { op.finishRead(r) }
 	op.afwd = func(r zns.AppendResult) { op.finishAppend(r) }
+	op.efwd = func(err error) { op.finishReset(err) }
 	return op
 }
 
 func (q *Queue) putOp(op *qop) {
 	op.data, op.oob = nil, nil
+	op.attempt, op.delayed = 0, false
 	op.wdone, op.rdone, op.adone, op.edone = nil, nil, nil, nil
 	q.opFree = append(q.opFree, op)
+}
+
+// faultOp classifies the command for the fault injector.
+func (op *qop) faultOp() fault.Op {
+	switch op.kind {
+	case opRead:
+		return fault.Read
+	case opReset:
+		return fault.Reset
+	}
+	return fault.Write
+}
+
+// deliverErr completes the command with an injected error without
+// touching the device. Transient errors route through the retry path in
+// the finish functions like any other completion.
+func (op *qop) deliverErr(err error) {
+	switch op.kind {
+	case opWrite:
+		op.finishWrite(zns.WriteResult{Err: err})
+	case opRead:
+		op.finishRead(zns.ReadResult{Err: err})
+	case opAppend:
+		op.finishAppend(zns.AppendResult{Err: err})
+	case opReset:
+		op.finishReset(err)
+	}
+}
+
+// retryable reports whether a failed command should be retried rather
+// than completed. Only the injector produces storerr.ErrTransient — the
+// device model's own errors are all permanent — so a retry always
+// re-delivers a command the device never executed.
+func (op *qop) retryable(err error) bool {
+	q := op.q
+	if q.dead || op.attempt >= q.cfg.maxRetries() {
+		return false
+	}
+	return errors.Is(err, storerr.ErrTransient)
+}
+
+// retry re-schedules delivery with exponential backoff.
+func (op *qop) retry() {
+	q := op.q
+	op.attempt++
+	q.retries++
+	op.delayed = false // consult the injector afresh on redelivery
+	op.at = q.eng.Now() + q.cfg.retryBackoff()<<(op.attempt-1)
+	q.eng.AtEvent(op.at, op, 0, 0)
 }
 
 // Fire delivers the command to the device at its scheduled time.
 func (op *qop) Fire(_, _ sim.Time) {
 	q := op.q
+	if q.dead {
+		// Power loss tore down the host stack: the command vanishes and
+		// its completion never fires.
+		q.putOp(op)
+		return
+	}
+	if q.inj != nil && !op.delayed {
+		d := q.inj.OnDeliver(q.eng.Now(), op.faultOp(), op.z, op.lba, op.nblocks)
+		if d.Err != nil {
+			op.deliverErr(d.Err)
+			return
+		}
+		if d.Delay > 0 {
+			op.delayed = true
+			op.at += d.Delay
+			q.eng.AtEvent(op.at, op, 0, 0)
+			return
+		}
+	}
+	op.delayed = false
 	if q.tr != nil && op.kind != opReset {
 		q.tr.Mark(op.span, int64(op.start), int64(op.at), obs.LayerNVMe, obs.PhaseQueue, q.trDev, op.z, -1)
 		q.dev.TraceSpan(op.span)
@@ -117,15 +230,37 @@ func (op *qop) Fire(_, _ sim.Time) {
 	case opAppend:
 		q.dev.Append(op.z, op.nblocks, op.data, op.oob, op.tag, op.afwd)
 	case opReset:
-		done := op.edone
-		z := op.z
+		q.dev.Reset(op.z, op.efwd)
+	}
+}
+
+func (op *qop) finishReset(err error) {
+	q := op.q
+	if q.dead {
 		q.putOp(op)
-		q.dev.Reset(z, done)
+		return
+	}
+	if err != nil && op.retryable(err) {
+		op.retry()
+		return
+	}
+	done := op.edone
+	q.putOp(op)
+	if done != nil {
+		done(err)
 	}
 }
 
 func (op *qop) finishWrite(r zns.WriteResult) {
 	q := op.q
+	if q.dead {
+		q.putOp(op)
+		return
+	}
+	if r.Err != nil && op.retryable(r.Err) {
+		op.retry()
+		return
+	}
 	r.Latency = q.eng.Now() - op.start
 	if q.tr != nil {
 		q.tr.SpanEnd(op.span, int64(q.eng.Now()), r.Err != nil)
@@ -140,6 +275,14 @@ func (op *qop) finishWrite(r zns.WriteResult) {
 
 func (op *qop) finishRead(r zns.ReadResult) {
 	q := op.q
+	if q.dead {
+		q.putOp(op)
+		return
+	}
+	if r.Err != nil && op.retryable(r.Err) {
+		op.retry()
+		return
+	}
 	r.Latency = q.eng.Now() - op.start
 	if q.tr != nil {
 		q.tr.SpanEnd(op.span, int64(q.eng.Now()), r.Err != nil)
@@ -154,6 +297,14 @@ func (op *qop) finishRead(r zns.ReadResult) {
 
 func (op *qop) finishAppend(r zns.AppendResult) {
 	q := op.q
+	if q.dead {
+		q.putOp(op)
+		return
+	}
+	if r.Err != nil && op.retryable(r.Err) {
+		op.retry()
+		return
+	}
 	r.Latency = q.eng.Now() - op.start
 	if q.tr != nil {
 		q.tr.SpanEnd(op.span, int64(q.eng.Now()), r.Err != nil)
@@ -200,6 +351,25 @@ func (q *Queue) qd(delta int64) {
 // Reordered reports how many deliveries were scheduled before an
 // earlier-submitted command's delivery (diagnostics for tests).
 func (q *Queue) Reordered() uint64 { return q.reordered }
+
+// Retries reports how many transient-error retries the queue has issued.
+func (q *Queue) Retries() uint64 { return q.retries }
+
+// SetInjector installs a fault injector consulted at each command
+// delivery. nil removes injection.
+func (q *Queue) SetInjector(in *fault.Injector) { q.inj = in }
+
+// Injector returns the installed fault injector, or nil.
+func (q *Queue) Injector() *fault.Injector { return q.inj }
+
+// Kill tears down the host side of the queue (power loss): undelivered
+// commands vanish, and completions of commands already at the device are
+// dropped instead of invoking host callbacks. The device itself is cut
+// separately via zns.Device.PowerLoss.
+func (q *Queue) Kill() { q.dead = true }
+
+// Killed reports whether Kill has been called.
+func (q *Queue) Killed() bool { return q.dead }
 
 // deliverAt computes the delivery time for a command to zone z.
 func (q *Queue) deliverAt(z int, ordered bool) sim.Time {

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"testing"
 
+	"biza/internal/fault"
 	"biza/internal/sim"
+	"biza/internal/storerr"
 	"biza/internal/zns"
 )
 
@@ -178,5 +180,124 @@ func TestZoneOrderedPropertyUnderRandomJitter(t *testing.T) {
 		if failures > 0 {
 			t.Fatalf("seed %d: %d ordered writes failed", seed, failures)
 		}
+	}
+}
+
+func injected(t *testing.T, spec *fault.Spec, seed uint64) *fault.Injector {
+	t.Helper()
+	p, err := fault.Compile(spec, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Injector(0)
+}
+
+func TestRetryRecoversTransientErrors(t *testing.T) {
+	eng, q := newStack(t, Config{Seed: 2})
+	q.SetInjector(injected(t, &fault.Spec{Rules: []fault.Rule{
+		{Kind: fault.Transient, Dev: 0, Op: fault.Write, Rate: 1, MaxCount: 2},
+	}}, 2))
+	var res zns.WriteResult
+	ok := false
+	start := eng.Now()
+	q.Write(0, 0, 1, nil, nil, zns.TagUserData, func(r zns.WriteResult) { res = r; ok = true })
+	eng.Run()
+	if !ok || res.Err != nil {
+		t.Fatalf("write not recovered: ok=%v err=%v", ok, res.Err)
+	}
+	if q.Retries() != 2 {
+		t.Fatalf("retries = %d, want 2", q.Retries())
+	}
+	// Exponential backoff: two retries cost at least 20us + 40us.
+	if eng.Now()-start < 60*sim.Microsecond {
+		t.Fatalf("retries completed too fast: %v", eng.Now()-start)
+	}
+}
+
+func TestRetriesExhaustedSurfaceTransient(t *testing.T) {
+	eng, q := newStack(t, Config{Seed: 3})
+	q.SetInjector(injected(t, &fault.Spec{Rules: []fault.Rule{
+		fault.TransientErrors(0, fault.AnyOp, 1),
+	}}, 3))
+	var werr error
+	q.Write(0, 0, 1, nil, nil, zns.TagUserData, func(r zns.WriteResult) { werr = r.Err })
+	eng.Run()
+	if !errors.Is(werr, storerr.ErrTransient) {
+		t.Fatalf("err = %v", werr)
+	}
+	if q.Retries() != DefaultMaxRetries {
+		t.Fatalf("retries = %d, want %d", q.Retries(), DefaultMaxRetries)
+	}
+}
+
+func TestRetriesDisabled(t *testing.T) {
+	eng, q := newStack(t, Config{Seed: 4, MaxRetries: -1})
+	q.SetInjector(injected(t, &fault.Spec{Rules: []fault.Rule{
+		{Kind: fault.Transient, Dev: 0, Rate: 1, MaxCount: 1},
+	}}, 4))
+	var werr error
+	q.Write(0, 0, 1, nil, nil, zns.TagUserData, func(r zns.WriteResult) { werr = r.Err })
+	eng.Run()
+	if !errors.Is(werr, storerr.ErrTransient) || q.Retries() != 0 {
+		t.Fatalf("err=%v retries=%d", werr, q.Retries())
+	}
+}
+
+func TestInjectedDeathCompletesWithErrors(t *testing.T) {
+	// A dead device must answer every in-flight command with an error
+	// completion — nothing hangs, nothing is silently dropped.
+	eng, q := newStack(t, Config{ReorderWindow: 10 * sim.Microsecond, Seed: 5})
+	q.SetInjector(injected(t, &fault.Spec{Rules: []fault.Rule{
+		fault.KillDevice(0, 1), // dead from t=1ns on
+	}}, 5))
+	completions, deadErrs := 0, 0
+	for i := 0; i < 16; i++ {
+		q.Write(0, int64(i), 1, nil, nil, zns.TagUserData, func(r zns.WriteResult) {
+			completions++
+			if errors.Is(r.Err, storerr.ErrDeviceDead) {
+				deadErrs++
+			}
+		})
+	}
+	q.Read(0, 0, 1, func(r zns.ReadResult) {
+		completions++
+		if errors.Is(r.Err, storerr.ErrDeviceDead) {
+			deadErrs++
+		}
+	})
+	eng.Run()
+	if completions != 17 || deadErrs != 17 {
+		t.Fatalf("completions=%d deadErrs=%d", completions, deadErrs)
+	}
+}
+
+func TestInjectedLatencyDelaysDelivery(t *testing.T) {
+	eng, q := newStack(t, Config{Seed: 6})
+	q.SetInjector(injected(t, &fault.Spec{Rules: []fault.Rule{
+		{Kind: fault.Latency, Dev: 0, Op: fault.Write, Delay: 500 * sim.Microsecond},
+	}}, 6))
+	var lat sim.Time
+	q.Write(0, 0, 1, nil, nil, zns.TagUserData, func(r zns.WriteResult) { lat = r.Latency })
+	eng.Run()
+	if lat < 500*sim.Microsecond {
+		t.Fatalf("latency %v does not include the injected spike", lat)
+	}
+}
+
+func TestKillDropsInFlightSilently(t *testing.T) {
+	// Kill models host power loss: submitted commands vanish and their
+	// completions never fire (crash semantics, not error semantics).
+	eng, q := newStack(t, Config{ReorderWindow: 10 * sim.Microsecond, Seed: 7})
+	completions := 0
+	for i := 0; i < 8; i++ {
+		q.Write(0, int64(i), 1, nil, nil, zns.TagUserData, func(zns.WriteResult) { completions++ })
+	}
+	q.Kill()
+	eng.Run()
+	if completions != 0 {
+		t.Fatalf("%d completions fired after Kill", completions)
+	}
+	if !q.Killed() {
+		t.Fatal("Killed() false")
 	}
 }

@@ -153,6 +153,21 @@ const (
 	// EvGCVictim: the host engine selected a GC victim zone. Arg0 = live
 	// chunks in the victim, Arg1 = free zones remaining on the device.
 	EvGCVictim
+	// EvFault: the fault layer injected a failure into a delivered
+	// command. Arg0 = op (obs.Op numbering), Arg1 = lba (-1 none),
+	// Flag = fault kind (fault.Kind numbering, see FaultKindName).
+	EvFault
+	// EvReconstruct: the array served a chunk by parity reconstruction
+	// instead of reading a failed member. Dev = the failed member,
+	// Arg0 = logical block number, Arg1 = 0 on success / 1 on failure.
+	EvReconstruct
+	// EvMemberState: an array member changed health state. Arg0 = new
+	// state, Arg1 = old state (MemberStateName numbering).
+	EvMemberState
+	// EvPowerLoss: the device lost power. Arg0 = unacknowledged buffer
+	// blocks dropped, Arg1 = pending blocks hardened by the capacitor
+	// flush.
+	EvPowerLoss
 )
 
 func (e EventKind) String() string {
@@ -165,6 +180,41 @@ func (e EventKind) String() string {
 		return "zrwa-commit"
 	case EvGCVictim:
 		return "gc-victim"
+	case EvFault:
+		return "fault"
+	case EvReconstruct:
+		return "reconstruct"
+	case EvMemberState:
+		return "member-state"
+	case EvPowerLoss:
+		return "power-loss"
+	}
+	return "unknown"
+}
+
+// faultKindNames mirrors fault.Kind numbering (obs cannot import fault:
+// fault holds a *Trace). Keep in sync with internal/fault/fault.go.
+var faultKindNames = []string{
+	"transient", "latency", "unreadable", "device-death", "power-loss",
+}
+
+// FaultKindName names a fault.Kind value carried in an EvFault record.
+func FaultKindName(f uint8) string {
+	if int(f) < len(faultKindNames) {
+		return faultKindNames[f]
+	}
+	return "unknown"
+}
+
+// memberStateNames mirrors core.MemberState numbering. Keep in sync with
+// internal/core/health.go.
+var memberStateNames = []string{"healthy", "degraded", "rebuilding"}
+
+// MemberStateName names a core.MemberState value carried in an
+// EvMemberState record.
+func MemberStateName(v int64) string {
+	if v >= 0 && int(v) < len(memberStateNames) {
+		return memberStateNames[v]
 	}
 	return "unknown"
 }
@@ -256,6 +306,12 @@ const (
 	// ProbeChanReadBusy: cumulative read-bus busy ns of one channel
 	// (counter; aux = channel).
 	ProbeChanReadBusy
+	// ProbeFaults: cumulative faults injected into one device's command
+	// stream (counter).
+	ProbeFaults
+	// ProbeReconstructs: cumulative chunks the array served by parity
+	// reconstruction (counter; dev = the failed member).
+	ProbeReconstructs
 )
 
 func (p ProbeKind) gauge() bool { return p == ProbeQueueDepth || p == ProbeOpenZones }
@@ -281,6 +337,10 @@ func ProbeName(key uint64) string {
 		return fmt.Sprintf("chan_write_busy_ns/dev%d/ch%d", dev, aux)
 	case ProbeChanReadBusy:
 		return fmt.Sprintf("chan_read_busy_ns/dev%d/ch%d", dev, aux)
+	case ProbeFaults:
+		return fmt.Sprintf("faults/dev%d", dev)
+	case ProbeReconstructs:
+		return fmt.Sprintf("reconstructs/dev%d", dev)
 	}
 	return fmt.Sprintf("probe%d/dev%d/%d", kind, dev, aux)
 }

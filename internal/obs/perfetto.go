@@ -130,6 +130,16 @@ func eventArgs(r Record) string {
 			r.Arg1, quote(CommitReason(r.Flag)), r.Arg0, r.Zone)
 	case EvGCVictim:
 		return fmt.Sprintf(`"free_zones":%d,"valid":%d,"zone":%d`, r.Arg1, r.Arg0, r.Zone)
+	case EvFault:
+		return fmt.Sprintf(`"fault":%s,"lba":%d,"op":%s,"zone":%d`,
+			quote(FaultKindName(r.Flag)), r.Arg1, quote(Op(r.Arg0).String()), r.Zone)
+	case EvReconstruct:
+		return fmt.Sprintf(`"failed":%d,"lbn":%d`, r.Arg1, r.Arg0)
+	case EvMemberState:
+		return fmt.Sprintf(`"from":%s,"to":%s`,
+			quote(MemberStateName(r.Arg1)), quote(MemberStateName(r.Arg0)))
+	case EvPowerLoss:
+		return fmt.Sprintf(`"dropped":%d,"hardened":%d`, r.Arg0, r.Arg1)
 	}
 	return fmt.Sprintf(`"arg0":%d,"arg1":%d,"zone":%d`, r.Arg0, r.Arg1, r.Zone)
 }

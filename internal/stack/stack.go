@@ -12,6 +12,7 @@ import (
 	"biza/internal/core"
 	"biza/internal/cpumodel"
 	"biza/internal/dmzap"
+	"biza/internal/fault"
 	"biza/internal/ftl"
 	"biza/internal/mdraid"
 	"biza/internal/metrics"
@@ -68,6 +69,17 @@ type Options struct {
 	// per-channel busy time into counter probes. Nil costs one pointer
 	// check per hot-path call.
 	Trace *obs.Trace
+
+	// Faults, when non-nil, compiles a deterministic fault plan (seeded
+	// from Seed) and interposes an injector on every member driver queue,
+	// so every ZNS-based stack sees identical fault schedules. Power-loss
+	// rules additionally schedule a Crash+Recover cycle (BIZA platforms
+	// only).
+	Faults *fault.Spec
+
+	// AutoReplace hot-swaps a fresh spare (via ReplaceDevice) as soon as
+	// the engine declares a member dead. BIZA platforms only.
+	AutoReplace bool
 }
 
 // BenchZNS returns the scaled ZN540 geometry the experiments run on:
@@ -103,9 +115,15 @@ type Platform struct {
 	BIZA  *core.Core
 	RAIZN *raizn.Array
 
-	userBytes func() uint64
-	opts      Options
-	members   []blockdev.Device
+	userBytes    func() uint64
+	opts         Options
+	members      []blockdev.Device
+	queues       []*nvme.Queue // member driver queues (ZNS-based platforms)
+	plan         *fault.Plan
+	bizaCfg      core.Config // resolved engine config (BIZA kinds)
+	crashed      bool
+	recoveries   uint64
+	replacements uint64
 	// engineParity reports (data, parity) engine-level output for
 	// platforms whose members cannot tag traffic (mdraid over block
 	// devices); FlashWriteAmp redistributes flash bytes by that ratio.
@@ -134,6 +152,29 @@ func NewOn(eng *sim.Engine, kind Kind, opts Options) (*Platform, error) {
 	}
 	p := &Platform{Kind: kind, Eng: eng, Acct: &cpumodel.Accountant{}, opts: opts}
 
+	if opts.Faults != nil {
+		plan, err := fault.Compile(opts.Faults, opts.Seed, opts.Members)
+		if err != nil {
+			return nil, err
+		}
+		isBIZA := kind == KindBIZA || kind == KindBIZANoSel || kind == KindBIZANoAvoid
+		if len(plan.PowerLossTimes()) > 0 && !isBIZA {
+			return nil, fmt.Errorf("stack: %s does not support power-loss recovery", kind)
+		}
+		p.plan = plan
+	}
+
+	attachFaults := func(q *nvme.Queue, dev int) {
+		if p.plan == nil {
+			return
+		}
+		in := p.plan.Injector(dev)
+		if opts.Trace != nil {
+			in.SetTracer(opts.Trace, dev)
+		}
+		q.SetInjector(in)
+	}
+
 	newZNSQueues := func(zoneOrdered bool) ([]*nvme.Queue, error) {
 		var queues []*nvme.Queue
 		for i := 0; i < opts.Members; i++ {
@@ -152,8 +193,10 @@ func NewOn(eng *sim.Engine, kind Kind, opts Options) (*Platform, error) {
 			if opts.Trace != nil {
 				q.SetTracer(opts.Trace, i)
 			}
+			attachFaults(q, i)
 			queues = append(queues, q)
 		}
+		p.queues = queues
 		return queues, nil
 	}
 
@@ -173,17 +216,22 @@ func NewOn(eng *sim.Engine, kind Kind, opts Options) (*Platform, error) {
 		case KindBIZANoAvoid:
 			ccfg.EnableGCAvoid = false
 		}
+		p.bizaCfg = ccfg
 		c, err := core.New(queues, ccfg, p.Acct)
 		if err != nil {
 			return nil, err
 		}
-		if opts.Trace != nil {
-			c.SetTracer(opts.Trace)
+		p.installBIZA(c)
+		if p.plan != nil {
+			for _, t := range p.plan.PowerLossTimes() {
+				eng.At(t, func() {
+					if err := p.Crash(); err != nil {
+						return
+					}
+					p.Recover(nil)
+				})
+			}
 		}
-		p.BIZA = c
-		p.Dev = c
-		wa := c.WriteAmp
-		p.userBytes = func() uint64 { return wa().UserBytes }
 
 	case KindRAIZN, KindDmzapRAIZN:
 		queues, err := newZNSQueues(true) // RAIZN relies on zone write locking
@@ -230,6 +278,8 @@ func NewOn(eng *sim.Engine, kind Kind, opts Options) (*Platform, error) {
 			if opts.Trace != nil {
 				q.SetTracer(opts.Trace, i)
 			}
+			attachFaults(q, i)
+			p.queues = append(p.queues, q)
 			ad, err := dmzap.New(zoneapi.SingleDevice{Q: q},
 				dmzap.DefaultConfig(dc.NumZones, dc.MaxOpenZones), p.Acct)
 			if err != nil {
@@ -458,9 +508,24 @@ func (s *seqZoneDevice) Read(lba int64, nblocks int, done func(blockdev.ReadResu
 
 func (s *seqZoneDevice) Trim(lba int64, nblocks int) {}
 
+// installBIZA wires a (new or recovered) engine into the platform.
+func (p *Platform) installBIZA(c *core.Core) {
+	if p.opts.Trace != nil {
+		c.SetTracer(p.opts.Trace)
+	}
+	p.BIZA = c
+	p.Dev = c
+	wa := c.WriteAmp
+	p.userBytes = func() uint64 { return wa().UserBytes }
+	if p.opts.AutoReplace {
+		c.OnMemberDeath(func(dev int) { p.ReplaceDevice(dev, nil) })
+	}
+}
+
 // ReplaceDevice hot-swaps BIZA member dev with a freshly simulated device
 // of the same geometry and rebuilds redundancy; done fires when the
-// rebuild completes. BIZA platforms only.
+// rebuild completes. The spare sits outside the fault plan (its injector,
+// if any, is dropped). BIZA platforms only.
 func (p *Platform) ReplaceDevice(dev int, done func(error)) {
 	if p.BIZA == nil {
 		if done != nil {
@@ -468,8 +533,11 @@ func (p *Platform) ReplaceDevice(dev int, done func(error)) {
 		}
 		return
 	}
+	p.replacements++
+	gen := fmt.Sprintf("%d", p.replacements)
+	member := fmt.Sprintf("dev%d", dev)
 	dc := p.opts.ZNS
-	dc.Seed = p.opts.Seed + uint64(dev) + 7777
+	dc.Seed = sim.DeriveSeed(p.opts.Seed, "replace", gen, member)
 	nd, err := zns.New(p.Eng, dc)
 	if err != nil {
 		if done != nil {
@@ -482,9 +550,101 @@ func (p *Platform) ReplaceDevice(dev int, done func(error)) {
 	}
 	nq := nvme.New(nd, nvme.Config{
 		ReorderWindow: p.opts.ReorderWindow,
-		Seed:          p.opts.Seed + uint64(dev) + 8888,
+		Seed:          sim.DeriveSeed(p.opts.Seed, "replace-queue", gen, member),
 	})
+	if p.opts.Trace != nil {
+		nq.SetTracer(p.opts.Trace, dev)
+	}
+	if dev >= 0 && dev < len(p.queues) {
+		p.queues[dev] = nq
+	}
 	p.BIZA.ReplaceDevice(dev, nq, done)
+}
+
+// Crash models a host power loss: every member driver queue dies with its
+// in-flight commands, and every device drops write-buffer contents that
+// were never acknowledged (acknowledged ZRWA blocks harden, PLP-style).
+// The platform rejects work until Recover rebuilds the engine. BIZA
+// platforms only.
+func (p *Platform) Crash() error {
+	if p.BIZA == nil {
+		return fmt.Errorf("stack: %s cannot crash-recover", p.Kind)
+	}
+	if p.crashed {
+		return fmt.Errorf("stack: already crashed")
+	}
+	p.crashed = true
+	for _, q := range p.queues {
+		q.Kill()
+	}
+	for _, d := range p.ZNSDevs {
+		d.PowerLoss()
+	}
+	return nil
+}
+
+// Crashed reports whether the platform awaits Recover.
+func (p *Platform) Crashed() bool { return p.crashed }
+
+// Queues exposes the member driver queues (fault-injection and retry
+// statistics for harnesses). The slice is replaced wholesale on Recover.
+func (p *Platform) Queues() []*nvme.Queue { return p.queues }
+
+// Recover restarts a crashed BIZA platform: fresh driver queues (seeded
+// deterministically per recovery generation) attach to the surviving
+// devices, fault injectors reattach with their accumulated state, and the
+// engine's mapping tables are rebuilt from the OOB scan. done fires once
+// the scan completes; the scan runs in virtual time, so the engine must
+// be driven for it to finish. Every member must be readable — replace a
+// dead member first.
+func (p *Platform) Recover(done func(error)) {
+	fail := func(err error) {
+		if done != nil {
+			p.Eng.After(0, func() { done(err) })
+		}
+	}
+	if p.BIZA == nil {
+		fail(fmt.Errorf("stack: %s cannot crash-recover", p.Kind))
+		return
+	}
+	if !p.crashed {
+		fail(fmt.Errorf("stack: not crashed"))
+		return
+	}
+	p.recoveries++
+	gen := fmt.Sprintf("%d", p.recoveries)
+	var queues []*nvme.Queue
+	for i, d := range p.ZNSDevs {
+		q := nvme.New(d, nvme.Config{
+			ReorderWindow: p.opts.ReorderWindow,
+			Seed:          sim.DeriveSeed(p.opts.Seed, "recover", gen, fmt.Sprintf("dev%d", i)),
+		})
+		if p.opts.Trace != nil {
+			q.SetTracer(p.opts.Trace, i)
+		}
+		if p.plan != nil {
+			in := p.plan.Injector(i)
+			if p.opts.Trace != nil {
+				in.SetTracer(p.opts.Trace, i)
+			}
+			q.SetInjector(in)
+		}
+		queues = append(queues, q)
+	}
+	p.queues = queues
+	core.Recover(queues, p.bizaCfg, p.Acct, func(c *core.Core, err error) {
+		if err != nil {
+			if done != nil {
+				done(err)
+			}
+			return
+		}
+		p.installBIZA(c)
+		p.crashed = false
+		if done != nil {
+			done(nil)
+		}
+	})
 }
 
 // Flush pushes buffered engine state to flash so endurance accounting sees

@@ -120,11 +120,14 @@ func (f FlashStats) TotalProgrammed() uint64 {
 func (f FlashStats) ProgrammedByTag(t WriteTag) uint64 { return f.ProgrammedBytes[t] }
 
 // bufBlock is one dirty or committed-but-unprogrammed block in the device
-// write buffer.
+// write buffer. acked marks content whose write completion reached the
+// host: power loss hardens acked blocks (capacitor flush) and drops
+// unacknowledged ones.
 type bufBlock struct {
-	data []byte
-	oob  []byte
-	tag  WriteTag
+	data  []byte
+	oob   []byte
+	tag   WriteTag
+	acked bool
 }
 
 type waiter struct {
@@ -169,6 +172,11 @@ type Device struct {
 
 	openCount   int
 	activeCount int
+
+	// epoch invalidates in-flight command records across a power loss:
+	// each pooled op snapshots it at submission and aborts silently at
+	// its next Fire when the device has since power-cycled.
+	epoch uint64
 
 	stats FlashStats
 
@@ -888,6 +896,95 @@ func (d *Device) Read(z int, lba int64, nblocks int, done func(ReadResult)) {
 	}
 	op.stage = rCtrl
 	d.controller.SubmitEvent(d.cfg.CmdOverhead, op)
+}
+
+// ackRange marks buffered blocks of an acknowledged write as
+// capacitor-protected: from this ack on, PowerLoss hardens rather than
+// drops them. Blocks already programmed to flash need no marking.
+func (d *Device) ackRange(zn *zone, lba, n int64) {
+	for i := int64(0); i < n; i++ {
+		b := lba + i
+		if bb, ok := zn.dirty[b]; ok {
+			bb.acked = true
+		} else if bb, ok := zn.pending[b]; ok {
+			bb.acked = true
+		}
+	}
+}
+
+// harden persists one buffered block during the power-loss capacitor
+// flush: contents move to flash at zero service cost.
+func (d *Device) harden(zn *zone, b int64, bb *bufBlock) {
+	if d.cfg.StoreData {
+		if zn.data == nil {
+			zn.data = make(map[int64][]byte)
+			zn.oob = make(map[int64][]byte)
+		}
+		if bb.data != nil {
+			zn.data[b] = bb.data
+			bb.data = nil
+		}
+		if bb.oob != nil {
+			zn.oob[b] = bb.oob
+			bb.oob = nil
+		}
+	}
+	d.stats.ProgrammedBytes[bb.tag] += uint64(d.cfg.BlockSize)
+	d.putBufBlock(bb)
+}
+
+// PowerLoss cuts device power at the current instant, modeling an
+// enterprise drive with power-loss protection for acknowledged content:
+//
+//   - In-flight commands and background flash programs abort (epoch
+//     bump); their completions never fire.
+//   - Capacitor flush: committed blocks awaiting their flash program and
+//     ZRWA blocks whose writes were acknowledged harden to flash
+//     instantly at zero service cost.
+//   - Unacknowledged ZRWA contents are dropped — the window truncation a
+//     crash exposes; recovery must tolerate the resulting holes.
+//   - Buffer-credit waiters are discarded with the host that submitted
+//     them.
+//
+// Zone states, write pointers, and ZRWA configuration survive (firmware
+// journals its metadata). The host side must be torn down separately
+// (nvme.Queue.Kill) and rebuilt before the device is driven again.
+func (d *Device) PowerLoss() {
+	d.epoch++
+	var dropped, hardened int64
+	for _, zn := range d.zones {
+		for i := range zn.waiters {
+			if op := zn.waiters[i].op; op != nil {
+				d.putWriteOp(op)
+			}
+		}
+		zn.waiters = nil
+		if zn.dirty == nil && zn.pending == nil {
+			continue
+		}
+		for b, bb := range zn.pending {
+			d.harden(zn, b, bb)
+			hardened++
+			delete(zn.pending, b)
+		}
+		for b, bb := range zn.dirty {
+			if bb.acked {
+				d.harden(zn, b, bb)
+				hardened++
+			} else {
+				d.putBufBlock(bb)
+				dropped++
+			}
+			delete(zn.dirty, b)
+		}
+		if zn.zrwa {
+			zn.credit = d.cfg.ZRWABlocks
+		}
+	}
+	if d.tr != nil {
+		d.tr.Event(int64(d.eng.Now()), obs.LayerZNS, obs.EvPowerLoss, d.trDev, -1,
+			dropped, hardened, 0)
+	}
 }
 
 // SetOffline marks a zone dead (fault injection for degraded-mode tests).

@@ -1,45 +1,53 @@
 package zns
 
-import "errors"
+import (
+	"fmt"
+
+	"biza/internal/storerr"
+)
 
 // Command errors. These correspond to NVMe ZNS status codes; engines branch
-// on them, so they are sentinel values.
+// on them, so they are sentinel values. Each wraps the canonical sentinel
+// from internal/storerr, so errors.Is matches either identity: existing
+// code comparing against zns.ErrZoneFull keeps working, and layer-agnostic
+// code (the degraded-read path, the driver retry loop) branches on
+// storerr.ErrZoneFull without importing zns.
 var (
 	// ErrNotSequential reports a write to a non-ZRWA zone that does not
 	// start exactly at the write pointer (Zone Invalid Write).
-	ErrNotSequential = errors.New("zns: write not at write pointer")
+	ErrNotSequential = fmt.Errorf("zns: write not at write pointer: %w", storerr.ErrWritePointer)
 
 	// ErrOutOfWindow reports a ZRWA write behind the committed boundary:
 	// the destination has already been flushed and is immutable.
-	ErrOutOfWindow = errors.New("zns: write behind ZRWA window")
+	ErrOutOfWindow = fmt.Errorf("zns: write behind ZRWA window: %w", storerr.ErrWritePointer)
 
 	// ErrZoneFull reports a write to a full zone or beyond zone capacity.
-	ErrZoneFull = errors.New("zns: zone is full")
+	ErrZoneFull = fmt.Errorf("zns: zone is full: %w", storerr.ErrZoneFull)
 
 	// ErrTooManyOpen reports an open that would exceed the device's
 	// max-open-zones resource limit.
-	ErrTooManyOpen = errors.New("zns: too many open zones")
+	ErrTooManyOpen = fmt.Errorf("zns: too many open zones: %w", storerr.ErrTooManyOpen)
 
 	// ErrZoneOffline reports access to a dead zone.
-	ErrZoneOffline = errors.New("zns: zone offline")
+	ErrZoneOffline = fmt.Errorf("zns: zone offline: %w", storerr.ErrZoneOffline)
 
 	// ErrReadOnly reports a write to a read-only zone.
-	ErrReadOnly = errors.New("zns: zone read-only")
+	ErrReadOnly = fmt.Errorf("zns: zone read-only: %w", storerr.ErrReadOnly)
 
 	// ErrAppendWithZRWA reports an APPEND to a zone opened with ZRWA; the
 	// NVMe specification makes the two mutually exclusive (§3.2).
-	ErrAppendWithZRWA = errors.New("zns: append to zone opened with ZRWA")
+	ErrAppendWithZRWA = fmt.Errorf("zns: append to zone opened with ZRWA: %w", storerr.ErrBadArgument)
 
 	// ErrZRWANotSupported reports a ZRWA open on a device without ZRWA.
-	ErrZRWANotSupported = errors.New("zns: device does not support ZRWA")
+	ErrZRWANotSupported = fmt.Errorf("zns: device does not support ZRWA: %w", storerr.ErrBadArgument)
 
 	// ErrBadZone reports a zone index out of range.
-	ErrBadZone = errors.New("zns: zone index out of range")
+	ErrBadZone = fmt.Errorf("zns: zone index out of range: %w", storerr.ErrOutOfRange)
 
 	// ErrBadRange reports a block range outside the zone.
-	ErrBadRange = errors.New("zns: block range out of zone bounds")
+	ErrBadRange = fmt.Errorf("zns: block range out of zone bounds: %w", storerr.ErrOutOfRange)
 
 	// ErrWrongState reports a state-machine violation (e.g. commit on an
 	// empty zone).
-	ErrWrongState = errors.New("zns: invalid zone state for command")
+	ErrWrongState = fmt.Errorf("zns: invalid zone state for command: %w", storerr.ErrWrongState)
 )

@@ -32,7 +32,8 @@ type writeOp struct {
 	lba     int64
 	n       int64
 	size    int64
-	need    int64 // ZRWA buffer credit required
+	need    int64  // ZRWA buffer credit required
+	epoch   uint64 // device power epoch at submission
 	tag     WriteTag
 	data    []byte
 	oob     [][]byte
@@ -49,9 +50,10 @@ func (d *Device) getWriteOp() *writeOp {
 	if n := len(d.wopFree); n > 0 {
 		op := d.wopFree[n-1]
 		d.wopFree = d.wopFree[:n-1]
+		op.epoch = d.epoch
 		return op
 	}
-	return &writeOp{d: d}
+	return &writeOp{d: d, epoch: d.epoch}
 }
 
 func (d *Device) putWriteOp(op *writeOp) {
@@ -97,6 +99,12 @@ func (op *writeOp) creditGranted() {
 
 func (op *writeOp) Fire(s, e sim.Time) {
 	d := op.d
+	if op.epoch != d.epoch {
+		// Power was lost while the command was in flight: it dies
+		// silently with the host that issued it.
+		d.putWriteOp(op)
+		return
+	}
 	switch op.stage {
 	case wFail:
 		op.complete()
@@ -127,6 +135,9 @@ func (op *writeOp) Fire(s, e sim.Time) {
 		d.eng.AtEvent(now+d.cfg.BufWriteLatency, op, now, now+d.cfg.BufWriteLatency)
 	case wZBuf:
 		d.tr.Mark(op.span, int64(s), int64(e), obs.LayerZNS, obs.PhaseBuffer, d.trDev, op.z, -1)
+		// The completion below acknowledges the write: its buffered
+		// blocks become capacitor-protected against power loss.
+		d.ackRange(op.zn, op.lba, op.n)
 		op.complete()
 	}
 }
@@ -148,6 +159,7 @@ type readOp struct {
 	lba      int64
 	n        int64
 	size     int64
+	epoch    uint64 // device power epoch at submission
 	inBuffer bool
 	span     obs.SpanID
 	ownSpan  bool
@@ -161,9 +173,10 @@ func (d *Device) getReadOp() *readOp {
 	if n := len(d.ropFree); n > 0 {
 		op := d.ropFree[n-1]
 		d.ropFree = d.ropFree[:n-1]
+		op.epoch = d.epoch
 		return op
 	}
-	return &readOp{d: d}
+	return &readOp{d: d, epoch: d.epoch}
 }
 
 func (d *Device) putReadOp(op *readOp) {
@@ -230,6 +243,10 @@ func (op *readOp) gather() ReadResult {
 
 func (op *readOp) Fire(s, e sim.Time) {
 	d := op.d
+	if op.epoch != d.epoch {
+		d.putReadOp(op)
+		return
+	}
 	switch op.stage {
 	case rFail:
 		op.complete(ReadResult{Err: op.err})
@@ -271,6 +288,7 @@ type programOp struct {
 	d      *Device
 	zn     *zone
 	start  int64
+	epoch  uint64 // device power epoch at submission
 	blocks []*bufBlock
 	stage  uint8
 }
@@ -279,13 +297,26 @@ func (d *Device) getProgramOp() *programOp {
 	if n := len(d.popFree); n > 0 {
 		op := d.popFree[n-1]
 		d.popFree = d.popFree[:n-1]
+		op.epoch = d.epoch
 		return op
 	}
-	return &programOp{d: d}
+	return &programOp{d: d, epoch: d.epoch}
 }
 
 func (op *programOp) Fire(s, e sim.Time) {
 	d, zn := op.d, op.zn
+	if op.epoch != d.epoch {
+		// Power loss aborted the program mid-flight. The buffered blocks
+		// it referenced were hardened or dropped (and recycled) by
+		// PowerLoss itself, so only the batch slice and record recycle.
+		run := op.blocks
+		*op = programOp{d: d}
+		d.popFree = append(d.popFree, op)
+		if run != nil {
+			d.putRun(run)
+		}
+		return
+	}
 	chIdx := zn.channel
 	ch := d.chans[chIdx]
 	nblk := len(op.blocks)

@@ -130,11 +130,21 @@ engine (ZapRAID-style) matches BIZA's sequential throughput within ~20%
 overwrite reaches flash — BIZA's write counts on a hot-overwrite workload
 are several times lower. This is the endurance case for choosing ZRWA
 over APPEND despite APPEND's simpler reorder-safety story.""",
+    "avail": """Extension experiment: availability across a member failure. A
+byte-verified closed-loop workload runs while a deterministic fault plan
+kills one member mid-run; the array detects the death from completion
+errors, serves every read via parity reconstruction, hot-swaps a spare,
+and rebuilds. Throughput collapses during the fault window (detection +
+log-structured rebuild monopolize the survivors) and returns to within
+~1% of the healthy rate after the rebuild; p99 latency spikes ~70x while
+degraded. Every read in all three phases byte-verifies — the run panics
+on any lost or torn acknowledged write.""",
 }
 
 ORDER = ["table2", "table3", "table6", "fig4", "fig5", "fig10a", "fig10b",
          "fig11a", "fig11b", "fig12", "fig13a", "fig13b", "fig14", "fig15",
-         "fig16", "fig17", "detect", "batching", "wear", "append", "future"]
+         "fig16", "fig17", "detect", "batching", "wear", "append", "avail",
+         "future"]
 
 HEADER = """# EXPERIMENTS — paper versus measured
 
