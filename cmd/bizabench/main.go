@@ -9,8 +9,10 @@
 //	bizabench -exp all -quick -parallel 8    # sharded across 8 workers
 //	bizabench -exp all -json out.json        # machine-readable results
 //	bizabench -exp fig10 -trace fig10.json   # Perfetto trace of every platform
+//	bizabench -exp fleet -shards 8           # sharded fleet across 8 engine shards
 //
-// Results are bit-identical for a given -seed regardless of -parallel:
+// Results are bit-identical for a given -seed regardless of -parallel
+// or -shards:
 // every experiment point derives its RNG streams from (seed, experiment,
 // stream label), never from scheduling order. A panicking experiment is
 // reported and skipped; the process then exits non-zero after the rest of
@@ -38,6 +40,7 @@ func run() int {
 	list := flag.Bool("list", false, "list experiment ids")
 	md := flag.Bool("md", false, "emit GitHub-flavored markdown tables")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for independent experiment points")
+	shards := flag.Int("shards", runtime.NumCPU(), "engine shards per point for sharded experiments (fleet); output is identical at any value")
 	seed := flag.Uint64("seed", bench.DefaultSeed, "base seed for all derived RNG streams")
 	jsonPath := flag.String("json", "", "write machine-readable results (biza-bench/v2 schema) to this file")
 	stats := flag.Bool("stats", true, "print per-experiment wall/virtual-time accounting to stderr")
@@ -99,7 +102,7 @@ func run() int {
 		}
 	}
 
-	runner := &bench.Runner{Scale: scale, Seed: *seed, Parallel: *parallel, Quick: *quick}
+	runner := &bench.Runner{Scale: scale, Seed: *seed, Parallel: *parallel, Shards: *shards, Quick: *quick}
 	if *tracePath != "" || *traceJSONL != "" {
 		runner.Trace = &obs.Config{SampleN: *traceSample}
 	}

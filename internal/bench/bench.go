@@ -29,16 +29,22 @@ type Scale struct {
 	Duration sim.Time // virtual measurement window per run
 	TraceOps int      // synthesized ops per trace workload
 	Warmup   uint64   // warmup bytes before measuring
+
+	// Fleet sizing (the sharded fleet experiment).
+	FleetArrays  int // independent arrays partitioned across engine shards
+	FleetClients int // closed-loop clients hopping between arrays
 }
 
 // DefaultScale is used by the committed EXPERIMENTS.md results.
 func DefaultScale() Scale {
-	return Scale{Duration: 50 * sim.Millisecond, TraceOps: 60000, Warmup: 64 << 20}
+	return Scale{Duration: 50 * sim.Millisecond, TraceOps: 60000, Warmup: 64 << 20,
+		FleetArrays: 192, FleetClients: 3072}
 }
 
 // QuickScale runs every experiment in seconds (CI smoke).
 func QuickScale() Scale {
-	return Scale{Duration: 4 * sim.Millisecond, TraceOps: 4000, Warmup: 1 << 20}
+	return Scale{Duration: 4 * sim.Millisecond, TraceOps: 4000, Warmup: 1 << 20,
+		FleetArrays: 16, FleetClients: 192}
 }
 
 // DefaultSeed is the base seed of the committed EXPERIMENTS.md run.
@@ -49,10 +55,11 @@ const DefaultSeed uint64 = 1
 // derive, and (when driven by the Runner) the virtual-time accumulator
 // that credits simulated nanoseconds to the experiment's accounting.
 type Run struct {
-	base  uint64
-	exp   string
-	point string        // current config point (trace naming)
-	vt    *atomic.Int64 // optional virtual-time sink (Runner accounting)
+	base   uint64
+	exp    string
+	point  string        // current config point (trace naming)
+	shards int           // engine shards per point (fleet experiment); <1 = 1
+	vt     *atomic.Int64 // optional virtual-time sink (Runner accounting)
 
 	// Observability side-channel: when traceCfg is set, Platform attaches
 	// a fresh obs.Trace to every stack it assembles; PublishHistogram
@@ -67,6 +74,31 @@ type Run struct {
 // NewRun returns a run context for one experiment. Tests and direct
 // callers get the same values the Runner produces for (seed, exp).
 func NewRun(seed uint64, exp string) *Run { return &Run{base: seed, exp: exp} }
+
+// SetShards sets the engine-shard count sharded experiments partition one
+// run across (the Runner sets it from Runner.Shards). Output is
+// contractually bit-identical at any value; the count only chooses how
+// many goroutines advance the simulation.
+func (r *Run) SetShards(n int) { r.shards = n }
+
+// Shards reports the configured engine-shard count (at least 1).
+func (r *Run) Shards() int {
+	if r.shards < 1 {
+		return 1
+	}
+	return r.shards
+}
+
+// ShardGroup returns a shard group of Shards() engines with the given
+// barrier window, its virtual-time advancement credited once (not per
+// shard) to this run's accounting.
+func (r *Run) ShardGroup(window sim.Time) *sim.ShardGroup {
+	g := sim.NewShardGroup(r.Shards(), window)
+	if r.vt != nil {
+		g.SetTimeSink(r.vt)
+	}
+	return g
+}
 
 // Seed derives the deterministic seed for a named stochastic stream.
 // Streams are identified by label only — never by execution order — so a
@@ -88,6 +120,21 @@ func (r *Run) NewEngine() *sim.Engine {
 // (experiment, point, ordinal, kind) tuple; names depend only on the
 // deterministic construction order inside RunPoint, never on scheduling.
 func (r *Run) Platform(kind stack.Kind, opts stack.Options) (*stack.Platform, error) {
+	return r.PlatformOn(r.NewEngine(), -1, kind, opts)
+}
+
+// PlatformOnShard assembles a platform on a shard's engine (a fleet
+// partition). The attached trace is tagged with the shard id — a runtime
+// diagnostic the exporters omit, keeping trace artifacts byte-identical
+// at any shard count. Call it from the coordinating goroutine, in
+// canonical partition order, before the group starts running.
+func (r *Run) PlatformOnShard(sh *sim.Shard, kind stack.Kind, opts stack.Options) (*stack.Platform, error) {
+	return r.PlatformOn(sh.Engine(), sh.ID(), kind, opts)
+}
+
+// PlatformOn assembles a platform on the given engine; shard tags the
+// attached trace (-1 when the run is not sharded).
+func (r *Run) PlatformOn(eng *sim.Engine, shard int, kind stack.Kind, opts stack.Options) (*stack.Platform, error) {
 	if r.traceCfg != nil && opts.Trace == nil {
 		tr := obs.New(*r.traceCfg)
 		name := r.exp
@@ -95,10 +142,11 @@ func (r *Run) Platform(kind stack.Kind, opts stack.Options) (*stack.Platform, er
 			name += "/" + r.point
 		}
 		tr.SetName(fmt.Sprintf("%s/%d/%s", name, len(r.traces), kind))
+		tr.SetShard(shard)
 		r.traces = append(r.traces, tr)
 		opts.Trace = tr
 	}
-	return stack.NewOn(r.NewEngine(), kind, opts)
+	return stack.NewOn(eng, kind, opts)
 }
 
 // EnableTrace turns on per-platform span/event collection for this run
@@ -261,7 +309,7 @@ func registerPoints(id string, points []string, fn func(Scale, *Run, string) []*
 func IDs() []string {
 	order := []string{"table2", "table3", "table6", "fig4", "fig5", "fig10",
 		"fig11", "fig12", "fig13a", "fig13b", "fig14", "fig15", "fig16", "fig17",
-		"detect", "batching", "wear", "append", "avail", "future"}
+		"detect", "batching", "wear", "append", "avail", "fleet", "future"}
 	var out []string
 	for _, id := range order {
 		if _, ok := Experiments[id]; ok {

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"biza/internal/obs"
+	"biza/internal/sim"
+)
+
+// fleetScale is a test-sized fleet: big enough that clients genuinely
+// hop across shards and collide on popular arrays, small enough to run
+// under -race in CI.
+func fleetScale() Scale {
+	s := QuickScale()
+	s.Duration = 2 * sim.Millisecond
+	s.FleetArrays = 12
+	s.FleetClients = 96
+	return s
+}
+
+func runFleet(t *testing.T, shards int) *Report {
+	t.Helper()
+	rn := &Runner{
+		Scale:    fleetScale(),
+		Seed:     DefaultSeed,
+		Parallel: 1,
+		Shards:   shards,
+		Quick:    true,
+		Trace:    &obs.Config{SampleN: 1},
+	}
+	rep := rn.Run([]string{"fleet"})
+	if failed := rep.Failed(); len(failed) > 0 {
+		t.Fatalf("shards=%d: fleet failed: %s", shards, rep.Results[0].Error)
+	}
+	return rep
+}
+
+// TestFleetShardCountInvariance pins the tentpole contract end to end:
+// the fleet experiment's tables, samples, histograms, and exported
+// traces are byte-identical at any shard count. Run with -race to also
+// exercise the cross-shard barrier for data races.
+func TestFleetShardCountInvariance(t *testing.T) {
+	ref := runFleet(t, 1)
+	refTrace := exportTraces(t, ref)
+	for _, shards := range []int{2, 3, 8} {
+		got := runFleet(t, shards)
+		a, b := &ref.Results[0], &got.Results[0]
+		if !reflect.DeepEqual(a.Tables, b.Tables) {
+			t.Errorf("shards=%d: tables differ from shards=1:\n%s\nvs\n%s",
+				shards, renderTables(a.Tables), renderTables(b.Tables))
+		}
+		if !reflect.DeepEqual(a.Samples, b.Samples) {
+			t.Errorf("shards=%d: samples differ from shards=1", shards)
+		}
+		if !reflect.DeepEqual(a.Histograms, b.Histograms) {
+			t.Errorf("shards=%d: histograms differ from shards=1", shards)
+		}
+		if a.Stats.VirtualNanos != b.Stats.VirtualNanos {
+			t.Errorf("shards=%d: virtual time %d, shards=1 got %d",
+				shards, b.Stats.VirtualNanos, a.Stats.VirtualNanos)
+		}
+		if tr := exportTraces(t, got); !bytes.Equal(refTrace, tr) {
+			t.Errorf("shards=%d: exported traces differ from shards=1", shards)
+		}
+	}
+}
+
+// exportTraces renders the report's traces through both deterministic
+// exporters, concatenated, so a single byte-compare covers both formats.
+func exportTraces(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := obs.WritePerfetto(&buf, rep.Traces); err != nil {
+		t.Fatalf("perfetto export: %v", err)
+	}
+	if err := obs.WriteJSONL(&buf, rep.Traces); err != nil {
+		t.Fatalf("jsonl export: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func renderTables(ts []*Table) string {
+	var buf bytes.Buffer
+	for _, tb := range ts {
+		buf.WriteString(tb.String())
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}
+
+// TestFleetSanity checks the experiment does real work at test scale:
+// every client makes progress and cross-array hops actually happen.
+func TestFleetSanity(t *testing.T) {
+	rep := runFleet(t, 4)
+	res := &rep.Results[0]
+	if len(res.Tables) != 2 {
+		t.Fatalf("want 2 tables, got %d", len(res.Tables))
+	}
+	var fairness *Table
+	for _, tb := range res.Tables {
+		if tb.ID == "fleet-clients" {
+			fairness = tb
+		}
+	}
+	if fairness == nil {
+		t.Fatalf("no fleet-clients table in %s", renderTables(res.Tables))
+	}
+	row := fairness.Rows[0]
+	if row[1] == "0" {
+		t.Errorf("some client completed zero ops: %v", row)
+	}
+	if res.Stats.VirtualNanos == 0 {
+		t.Error("no virtual time credited")
+	}
+	// The JSON round-trip must stay deterministic too (the CI determinism
+	// gate compares serialized reports).
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report does not marshal: %v", err)
+	}
+}

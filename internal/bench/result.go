@@ -52,6 +52,7 @@ type Report struct {
 	Schema    string   `json:"schema"`
 	Seed      uint64   `json:"seed"`
 	Parallel  int      `json:"parallel"`
+	Shards    int      `json:"shards"` // engine shards per point (provenance)
 	Quick     bool     `json:"quick"`
 	WallNanos int64    `json:"wall_ns"` // elapsed wall time of the whole sweep
 	Results   []Result `json:"results"`

@@ -21,6 +21,7 @@ type Runner struct {
 	Scale    Scale
 	Seed     uint64 // base seed for every derived RNG stream
 	Parallel int    // worker count; <=1 runs serially
+	Shards   int    // engine shards per point (sharded experiments); <=1 = 1
 	Quick    bool   // recorded in the report for provenance
 
 	// Trace enables per-platform observability collection: every stack a
@@ -42,7 +43,7 @@ func (rn *Runner) Run(ids []string) *Report {
 	if workers < 1 {
 		workers = 1
 	}
-	start := time.Now()
+	start := time.Now() // ci:allow-wallclock — sweep wall-time accounting, never simulation input
 
 	exps := make([]*Experiment, len(ids))
 	parts := make([][][]*Table, len(ids))   // parts[e][p]: tables of point p
@@ -86,7 +87,11 @@ func (rn *Runner) Run(ids []string) *Report {
 	close(queue)
 	wg.Wait()
 
-	rep := &Report{Schema: ReportSchema, Seed: rn.Seed, Parallel: workers, Quick: rn.Quick}
+	shards := rn.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	rep := &Report{Schema: ReportSchema, Seed: rn.Seed, Parallel: workers, Shards: shards, Quick: rn.Quick}
 	for e, id := range ids {
 		res := Result{Experiment: id, Seed: rn.Seed}
 		switch {
@@ -122,7 +127,7 @@ func (rn *Runner) Run(ids []string) *Report {
 		}
 		rep.Results = append(rep.Results, res)
 	}
-	rep.WallNanos = time.Since(start).Nanoseconds()
+	rep.WallNanos = time.Since(start).Nanoseconds() // ci:allow-wallclock
 	return rep
 }
 
@@ -137,14 +142,14 @@ func pointName(e *Experiment, p int) string {
 // failure so one broken experiment cannot take down the sweep.
 func (rn *Runner) runUnit(id string, e *Experiment, u unit,
 	parts [][]*Table, wall []int64, perr []string, runs []*Run, sink *atomic.Int64) {
-	t0 := time.Now()
+	t0 := time.Now() // ci:allow-wallclock — per-point wall-time accounting
 	defer func() {
-		wall[u.point] = time.Since(t0).Nanoseconds()
+		wall[u.point] = time.Since(t0).Nanoseconds() // ci:allow-wallclock
 		if p := recover(); p != nil {
 			perr[u.point] = fmt.Sprint(p)
 		}
 	}()
-	run := &Run{base: rn.Seed, exp: id, point: e.Points[u.point], vt: sink, traceCfg: rn.Trace}
+	run := &Run{base: rn.Seed, exp: id, point: e.Points[u.point], shards: rn.Shards, vt: sink, traceCfg: rn.Trace}
 	runs[u.point] = run
 	parts[u.point] = e.RunPoint(rn.Scale, run, e.Points[u.point])
 }

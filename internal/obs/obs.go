@@ -369,6 +369,7 @@ const DefaultCapacity = 1 << 18
 // It is single-goroutine, like the engine it observes.
 type Trace struct {
 	name    string
+	shard   int
 	cap     int
 	sampleN uint64
 
@@ -396,9 +397,30 @@ func New(cfg Config) *Trace {
 	}
 	return &Trace{
 		cap:     cfg.Capacity,
+		shard:   -1,
 		sampleN: uint64(n),
 		probes:  make(map[uint64]*probeAgg),
 	}
+}
+
+// SetShard tags the trace with the engine shard that executed it (sharded
+// fleet runs; see sim.ShardGroup). The tag is a runtime diagnostic only:
+// the Perfetto and JSONL exporters deliberately omit it, because which
+// physical shard ran a partition depends on the shard count, and trace
+// artifacts are contractually byte-identical at any shard count. Nil-safe.
+func (t *Trace) SetShard(shard int) {
+	if t != nil {
+		t.shard = shard
+	}
+}
+
+// Shard reports the executing shard tag, or -1 when the trace was not
+// produced by a sharded run.
+func (t *Trace) Shard() int {
+	if t == nil {
+		return -1
+	}
+	return t.shard
 }
 
 // SetName labels the trace (export process name). Nil-safe.

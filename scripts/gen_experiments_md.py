@@ -130,6 +130,21 @@ engine (ZapRAID-style) matches BIZA's sequential throughput within ~20%
 overwrite reaches flash — BIZA's write counts on a hot-overwrite workload
 are several times lower. This is the endurance case for choosing ZRWA
 over APPEND despite APPEND's simpler reorder-safety story.""",
+    "fleet": """Extension experiment: the multi-array sharded fleet
+(`bizabench -exp fleet`). Hundreds of independent BIZA arrays are
+partitioned across engine shards (`sim.ShardGroup`, one goroutine per
+shard) while thousands of closed-loop clients hop between arrays over a
+20 us fabric, with a zipf(0.9) popularity skew. The table bins arrays in
+construction order; the skew shows up as the first bin carrying an
+order of magnitude more traffic — and a queueing-inflated p50 — while
+the cold tail stays at the uncontended ~15-20 us service latency. Output
+is byte-identical at any `-shards` value (CI compares 1/2/8); the
+wall-clock scaling lives in BENCH_perf.json's `fleet_scale` sweep, not
+in any table cell.""",
+    "fleet-clients": """Companion fairness view: per-client completed ops for the same run.
+Closed-loop clients over a zipf-skewed fleet still all make progress;
+the min/p50/p99 spread quantifies how much the popular arrays' queues
+slow the clients that visit them.""",
     "avail": """Extension experiment: availability across a member failure. A
 byte-verified closed-loop workload runs while a deterministic fault plan
 kills one member mid-run; the array detects the death from completion
@@ -144,7 +159,7 @@ on any lost or torn acknowledged write.""",
 ORDER = ["table2", "table3", "table6", "fig4", "fig5", "fig10a", "fig10b",
          "fig11a", "fig11b", "fig12", "fig13a", "fig13b", "fig14", "fig15",
          "fig16", "fig17", "detect", "batching", "wear", "append", "avail",
-         "future"]
+         "fleet", "fleet-clients", "future"]
 
 HEADER = """# EXPERIMENTS — paper versus measured
 

@@ -7,7 +7,13 @@
 //     simulated-ns-per-wall-second (the headline throughput metric);
 //   - erasure.Encode throughput for the wide (8-bytes-per-step split-table)
 //     kernels against a byte-at-a-time GF(256) reference, as MB/s and
-//     speedup ratios.
+//     speedup ratios;
+//   - the sharded fleet scaling sweep: the fleet experiment at
+//     -shards 1/2/4/8 with wall time and speedup versus one shard. The
+//     speedup is only meaningful relative to the recorded "cpus" count —
+//     on a single-core machine the sweep documents overhead, not scaling;
+//     the multi-core numbers come from the CI runners (perf-smoke and the
+//     nightly fleet-soak regenerate this snapshot and upload it).
 //
 // The "gobench" field carries the same numbers in Go benchmark text
 // format so CI can diff snapshots with benchstat.
@@ -25,6 +31,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"reflect"
 	"runtime"
 	"testing"
 
@@ -147,12 +154,55 @@ type fig10Result struct {
 	Speedup       float64 `json:"speedup_vs_seed,omitempty"`
 }
 
+type fleetScaleResult struct {
+	Shards        int     `json:"shards"`
+	WallNs        int64   `json:"wall_ns"`
+	SimNs         int64   `json:"sim_ns"`
+	SimNsPerWallS float64 `json:"sim_ns_per_wall_s"`
+	Speedup       float64 `json:"speedup_vs_1_shard"`
+}
+
+// benchFleet runs the sharded fleet at one shard count (best wall time
+// of three runs, since one sweep is too short to average out GC and
+// scheduler noise) and spot-checks the determinism contract: every
+// run's samples must be identical to the 1-shard reference (ref nil for
+// the reference run itself).
+func benchFleet(seed uint64, shards int, ref *bench.Report) (fleetScaleResult, *bench.Report) {
+	var best *bench.Report
+	for i := 0; i < 3; i++ {
+		rep := (&bench.Runner{Scale: bench.DefaultScale(), Seed: seed, Parallel: 1, Shards: shards}).Run([]string{"fleet"})
+		res := &rep.Results[0]
+		if res.Error != "" {
+			fmt.Fprintf(os.Stderr, "fleet (shards=%d) failed: %s\n", shards, res.Error)
+			os.Exit(1)
+		}
+		against := ref
+		if against == nil {
+			against = best
+		}
+		if against != nil && !reflect.DeepEqual(res.Samples, against.Results[0].Samples) {
+			fmt.Fprintf(os.Stderr, "fleet samples at shards=%d not reproducible — determinism bug\n", shards)
+			os.Exit(1)
+		}
+		if best == nil || rep.WallNanos < best.WallNanos {
+			best = rep
+		}
+	}
+	fs := fleetScaleResult{Shards: shards, WallNs: best.WallNanos, SimNs: best.Results[0].Stats.VirtualNanos}
+	if fs.WallNs > 0 {
+		fs.SimNsPerWallS = float64(fs.SimNs) / (float64(fs.WallNs) / 1e9)
+	}
+	return fs, best
+}
+
 type snapshot struct {
-	Schema  string         `json:"schema"`
-	Go      string         `json:"go"`
-	Fig10   fig10Result    `json:"fig10"`
-	Encode  []encodeResult `json:"encode"`
-	GoBench []string       `json:"gobench"`
+	Schema     string             `json:"schema"`
+	Go         string             `json:"go"`
+	CPUs       int                `json:"cpus"` // cores the fleet sweep had available
+	Fig10      fig10Result        `json:"fig10"`
+	Encode     []encodeResult     `json:"encode"`
+	FleetScale []fleetScaleResult `json:"fleet_scale"`
+	GoBench    []string           `json:"gobench"`
 }
 
 func main() {
@@ -191,11 +241,29 @@ func main() {
 		benchEncode(8, 3, 4096),
 	}
 
+	fmt.Fprintln(os.Stderr, "perf_snapshot: running fleet scaling sweep...")
+	var fleet []fleetScaleResult
+	var fleetRef *bench.Report
+	for _, shards := range []int{1, 2, 4, 8} {
+		fs, rep := benchFleet(*seed, shards, fleetRef)
+		if shards == 1 {
+			fleetRef = rep
+		}
+		if base := fleet; len(base) > 0 && fs.WallNs > 0 {
+			fs.Speedup = float64(base[0].WallNs) / float64(fs.WallNs)
+		} else {
+			fs.Speedup = 1
+		}
+		fleet = append(fleet, fs)
+	}
+
 	snap := snapshot{
-		Schema: "biza-perf/v1",
-		Go:     runtime.Version(),
-		Fig10:  f10,
-		Encode: enc,
+		Schema:     "biza-perf/v1",
+		Go:         runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		Fig10:      f10,
+		Encode:     enc,
+		FleetScale: fleet,
 	}
 	snap.GoBench = append(snap.GoBench,
 		fmt.Sprintf("BenchmarkEndToEndFig10 1 %d ns/op %.0f sim-ns/wall-s", f10.WallNs, f10.SimNsPerWallS))
@@ -203,6 +271,10 @@ func main() {
 		snap.GoBench = append(snap.GoBench,
 			fmt.Sprintf("BenchmarkEncodeWide%dx%d 1 %.0f MB/s", e.K, e.M, e.WideMBps),
 			fmt.Sprintf("BenchmarkEncodeScalar%dx%d 1 %.0f MB/s", e.K, e.M, e.ScalarMBps))
+	}
+	for _, fs := range fleet {
+		snap.GoBench = append(snap.GoBench,
+			fmt.Sprintf("BenchmarkFleetShards%d 1 %d ns/op %.0f sim-ns/wall-s", fs.Shards, fs.WallNs, fs.SimNsPerWallS))
 	}
 
 	buf, err := json.MarshalIndent(&snap, "", "  ")
@@ -222,5 +294,8 @@ func main() {
 	for _, e := range enc {
 		fmt.Printf("; encode %dx%d %.2fx", e.K, e.M, e.Speedup)
 	}
-	fmt.Println()
+	for _, fs := range fleet {
+		fmt.Printf("; fleet s%d %.2fx", fs.Shards, fs.Speedup)
+	}
+	fmt.Printf(" (%d cpus)\n", snap.CPUs)
 }
