@@ -34,6 +34,7 @@ import (
 	"biza/internal/sim"
 	"biza/internal/stack"
 	"biza/internal/storerr"
+	"biza/internal/volume"
 	"biza/internal/zns"
 )
 
@@ -147,7 +148,8 @@ type WriteAmp = metrics.WriteAmp
 
 // Array is a block-interface all-flash array in a private simulation.
 type Array struct {
-	p *stack.Platform
+	p  *stack.Platform
+	vm *volume.Manager
 }
 
 // New builds an array.
@@ -329,6 +331,50 @@ func (a *Array) Recover() error {
 		return ErrIncomplete
 	}
 	return rerr
+}
+
+// Volume is a named tenant slice of the array with its own QoS class.
+// See internal/volume for the asynchronous API and semantics.
+type Volume = volume.Volume
+
+// VolumeOptions configures one tenant volume: capacity plus QoS class.
+type VolumeOptions = volume.Options
+
+// VolumeQoS is a tenant service class: WFQ weight, token-bucket rate
+// limit, and burst allowance.
+type VolumeQoS = volume.QoS
+
+// VolumeManagerConfig parameterizes the array's volume manager (in-flight
+// window, QoS bypass).
+type VolumeManagerConfig = volume.Config
+
+// ConfigureVolumes sets the volume-manager configuration. It must be
+// called before the first OpenVolume; afterwards the manager exists and
+// its discipline is fixed.
+func (a *Array) ConfigureVolumes(cfg VolumeManagerConfig) error {
+	if a.vm != nil {
+		return errors.New("biza: volume manager already created")
+	}
+	a.vm = volume.New(a.p.Eng, a.p.Dev, cfg)
+	return nil
+}
+
+// OpenVolume carves a named tenant volume out of the array's remaining
+// capacity, creating the volume manager with defaults on first use.
+// Tenant I/O submitted through the returned Volume is isolated from other
+// tenants by weighted-fair queueing and optional rate limiting; see
+// VolumeQoS.
+func (a *Array) OpenVolume(name string, opts VolumeOptions) (*Volume, error) {
+	return a.VolumeManager().Open(name, opts)
+}
+
+// VolumeManager returns the array's volume manager, creating it with the
+// default configuration on first use.
+func (a *Array) VolumeManager() *volume.Manager {
+	if a.vm == nil {
+		a.vm = volume.New(a.p.Eng, a.p.Dev, volume.Config{})
+	}
+	return a.vm
 }
 
 // NewFS formats a log-structured (F2FS-like) filesystem on the array.

@@ -10,6 +10,7 @@
 //	bizabench -exp all -json out.json        # machine-readable results
 //	bizabench -exp fig10 -trace fig10.json   # Perfetto trace of every platform
 //	bizabench -exp fleet -shards 8           # sharded fleet across 8 engine shards
+//	bizabench -exp tenants -shards 4         # multi-tenant QoS isolation, sharded
 //
 // Results are bit-identical for a given -seed regardless of -parallel
 // or -shards:
@@ -40,7 +41,7 @@ func run() int {
 	list := flag.Bool("list", false, "list experiment ids")
 	md := flag.Bool("md", false, "emit GitHub-flavored markdown tables")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for independent experiment points")
-	shards := flag.Int("shards", runtime.NumCPU(), "engine shards per point for sharded experiments (fleet); output is identical at any value")
+	shards := flag.Int("shards", runtime.NumCPU(), "engine shards per point for sharded experiments (fleet, tenants); output is identical at any value")
 	seed := flag.Uint64("seed", bench.DefaultSeed, "base seed for all derived RNG streams")
 	jsonPath := flag.String("json", "", "write machine-readable results (biza-bench/v2 schema) to this file")
 	stats := flag.Bool("stats", true, "print per-experiment wall/virtual-time accounting to stderr")

@@ -1,0 +1,295 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+
+	"biza/internal/blockdev"
+	"biza/internal/metrics"
+	"biza/internal/sim"
+	"biza/internal/stack"
+	"biza/internal/volume"
+)
+
+func init() {
+	registerPoints("tenants", []string{"baseline", "qos", "noqos"}, Tenants)
+	Experiments["tenants"].Assemble = assembleTenants
+}
+
+// Tenant experiment sizing. Each array hosts one aggressor (tenant 0)
+// plus an even mix of interactive (odd ids) and batch (even ids) tenants,
+// every tenant a named volume of the array's volume manager. Per-tenant
+// demand derives from fixed per-array aggregates, so array utilization —
+// and therefore the isolation comparison — is the same at every Scale.
+const (
+	tenantWindow = 20 * sim.Microsecond // shard barrier window
+	tenantZones  = 16                   // zones per member device
+
+	tenantInflight = 8 // manager dispatch window into each array
+
+	aggBlocks   = 32 // 128 KiB aggressor writes
+	aggDepth    = 32 // aggressor outstanding ops
+	aggVolume   = 4096
+	interBlocks = 1 // 4 KiB interactive writes
+	interVolume = 128
+	interWeight = 16
+	batchBlocks = 16 // 64 KiB batch writes
+	batchVolume = 512
+	batchWeight = 4
+	batchBurst  = 128 << 10 // small burst so the throttle binds even at quick scale
+
+	// Ambient per-array offered load, split across however many tenants
+	// the Scale provisions (the arrays serve ~5 GB/s, so ~half load:
+	// visible queueing without ambient saturation).
+	interArrayBytes = 1 << 30 // interactive aggregate per array, bytes/s
+	batchArrayBytes = 3 << 29 // batch aggregate per array, bytes/s
+	nsPerSec        = int64(1e9)
+)
+
+// Tenant classes, in reporting order.
+const (
+	classInteractive = iota
+	classBatch
+	classAggressor
+	numClasses
+)
+
+var className = [numClasses]string{"interactive", "batch", "aggressor"}
+
+func tenantClass(id int) int {
+	switch {
+	case id == 0:
+		return classAggressor
+	case id%2 == 1:
+		return classInteractive
+	default:
+		return classBatch
+	}
+}
+
+// tenantRef is one tenant's workload state. All fields are touched only
+// on the owning array's shard goroutine.
+type tenantRef struct {
+	v     *volume.Volume
+	eng   *sim.Engine
+	rng   *sim.RNG
+	class int
+	next  int64 // next sequential lba (aggressor/batch wrap)
+	lat   *metrics.Histogram
+}
+
+// Tenants is the multi-tenant QoS-isolation experiment: arrays sharded
+// across engines, each multiplexed into ~a hundred tenant volumes through
+// internal/volume. The three points share one workload and differ only in
+// contention and discipline:
+//
+//   - baseline: aggressors idle, QoS on — the undisturbed reference.
+//   - qos: every array's aggressor saturates it with deep large writes;
+//     WFQ + the bounded dispatch window isolate the other tenants.
+//   - noqos: same aggression with admission control disabled — the
+//     interactive class queues behind the full aggressor backlog.
+//
+// Every tenant lives entirely on its array's shard, so per-array behavior
+// is independent of the shard assignment and all tables are bit-identical
+// at any -shards value. The assembled tenants-isolation table divides
+// each point's interactive p99 by the baseline's: the qos row is the
+// paper-style isolation claim (< 2x), the noqos row the unbounded
+// counterfactual.
+func Tenants(s Scale, r *Run, point string) []*Table {
+	numArrays, perArray := s.TenantArrays, s.Tenants
+	if numArrays < 1 || perArray < 3 {
+		panic("tenants: scale has no tenant sizing")
+	}
+	g := r.ShardGroup(tenantWindow)
+
+	cfg := volume.Config{MaxInflight: tenantInflight}
+	if point == "noqos" {
+		cfg = volume.Config{DisableQoS: true}
+	}
+	aggressorsRun := point != "baseline"
+
+	// Split the fixed per-array aggregates across this Scale's tenants.
+	numInter, numBatch := 0, 0
+	for ti := 0; ti < perArray; ti++ {
+		switch tenantClass(ti) {
+		case classInteractive:
+			numInter++
+		case classBatch:
+			numBatch++
+		}
+	}
+	const tenantBS = 4096 // BenchZNS block size
+	interGap := sim.Time(int64(interBlocks*tenantBS) * nsPerSec * int64(numInter) / interArrayBytes)
+	batchRate := int64(batchArrayBytes) / int64(numBatch)
+
+	// Construct arrays and their tenants in canonical order on
+	// round-robin shards (construction order never depends on -shards).
+	// Latency histograms are per tenant — shards must not share one — and
+	// merge per class in canonical tenant order after the run.
+	tenants := make([]*tenantRef, 0, numArrays*perArray)
+	for ai := 0; ai < numArrays; ai++ {
+		sh := g.Shard(ai % g.Shards())
+		p, err := r.PlatformOnShard(sh, stack.KindBIZA, stack.Options{
+			ZNS:  stack.BenchZNS(tenantZones),
+			Seed: r.Seed(fmt.Sprintf("%s/stack/a%02d", point, ai)),
+		})
+		if err != nil {
+			panic(fmt.Sprintf("tenants: array %d: %v", ai, err))
+		}
+		m := volume.New(sh.Engine(), p.Dev, cfg)
+		m.SetTracer(p.Trace())
+		for ti := 0; ti < perArray; ti++ {
+			class := tenantClass(ti)
+			opts := volume.Options{}
+			switch class {
+			case classAggressor:
+				opts = volume.Options{Blocks: aggVolume, QoS: volume.QoS{Weight: 1}}
+			case classInteractive:
+				opts = volume.Options{Blocks: interVolume, QoS: volume.QoS{Weight: interWeight}}
+			case classBatch:
+				opts = volume.Options{Blocks: batchVolume, QoS: volume.QoS{
+					Weight: batchWeight, RateBytesPerSec: batchRate, BurstBytes: batchBurst}}
+			}
+			v, err := m.Open(fmt.Sprintf("t%03d", ti), opts)
+			if err != nil {
+				panic(fmt.Sprintf("tenants: array %d tenant %d: %v", ai, ti, err))
+			}
+			tenants = append(tenants, &tenantRef{
+				v: v, eng: sh.Engine(), class: class, lat: newLatHist(),
+				rng: sim.NewRNG(r.Seed(fmt.Sprintf("%s/tenant/a%02d/t%03d", point, ai, ti))),
+			})
+		}
+	}
+
+	endAt := s.Duration
+
+	// Closed-loop issue functions per class. Completion latencies are
+	// end-to-end: token-bucket gating and WFQ queueing included.
+	var issue func(t *tenantRef)
+	issue = func(t *tenantRef) {
+		if t.eng.Now() >= endAt {
+			return // tenant retires; in-flight work drains the group
+		}
+		done := func(res blockdev.WriteResult) {
+			if res.Err != nil {
+				panic(fmt.Sprintf("tenants: %s write: %v", className[t.class], res.Err))
+			}
+			t.lat.Record(res.Latency)
+			if t.class == classInteractive {
+				// Interactive tenants think between requests, jittered
+				// around the per-array aggregate pacing gap.
+				think := interGap*3/4 + sim.Time(t.rng.Intn(int(interGap/2)))
+				t.eng.After(think, func() { issue(t) })
+				return
+			}
+			issue(t)
+		}
+		switch t.class {
+		case classAggressor:
+			lba := t.next
+			t.next = (t.next + aggBlocks) % aggVolume
+			t.v.Write(lba, aggBlocks, nil, done)
+		case classInteractive:
+			lba := t.rng.Int63n(interVolume - interBlocks + 1)
+			t.v.Write(lba, interBlocks, nil, done)
+		case classBatch:
+			lba := t.next
+			t.next = (t.next + batchBlocks) % batchVolume
+			t.v.Write(lba, batchBlocks, nil, done)
+		}
+	}
+
+	// Kick every tenant from the coordinator with a staggered start; src
+	// keys are globally unique so the injected order is canonical at any
+	// shard count. Aggressors prime their full depth.
+	for gi, t := range tenants {
+		if t.class == classAggressor && !aggressorsRun {
+			continue
+		}
+		t := t
+		at := tenantWindow + sim.Time(t.rng.Intn(int(4*tenantWindow)))
+		shard := (gi / perArray) % g.Shards()
+		g.Send(shard, at, int64(gi), func() {
+			n := 1
+			if t.class == classAggressor {
+				n = aggDepth
+			}
+			for i := 0; i < n; i++ {
+				issue(t)
+			}
+		})
+	}
+
+	g.Run(endAt)
+	if !g.Drain(endAt + 100*sim.Millisecond) {
+		panic("tenants: group did not quiesce after the measured horizon")
+	}
+
+	// Per-class aggregation in canonical tenant order.
+	secs := float64(endAt) / float64(sim.Second)
+	tbl := &Table{ID: "tenants",
+		Title: fmt.Sprintf("multi-tenant QoS isolation: %d arrays x %d tenants",
+			numArrays, perArray),
+		LabelCols: 2,
+		Header: []string{"point", "class", "tenants", "ops", "MBps",
+			"p50_us", "p99_us", "stalls", "jain"}}
+	for class := 0; class < numClasses; class++ {
+		var count int
+		var ops, bytes, stalls uint64
+		var perTenant []float64
+		h := newLatHist()
+		for _, t := range tenants {
+			if t.class != class {
+				continue
+			}
+			st := t.v.Stats()
+			count++
+			ops += st.Ops
+			bytes += st.Bytes
+			stalls += st.ThrottleStalls
+			perTenant = append(perTenant, float64(st.Ops))
+			h.Merge(t.lat)
+		}
+		tbl.Add(point, className[class],
+			fmt.Sprintf("%d", count),
+			fmt.Sprintf("%d", ops),
+			f1(float64(bytes)/(1<<20)/secs),
+			us(sim.Time(h.Percentile(50))),
+			us(sim.Time(h.Percentile(99))),
+			fmt.Sprintf("%d", stalls),
+			f3(metrics.JainIndex(perTenant)))
+		r.PublishHistogram(fmt.Sprintf("tenants/%s/%s", point, className[class]), "ns", h)
+	}
+	return []*Table{tbl}
+}
+
+// tenantP99Col is the p99_us column index of the tenants table.
+const tenantP99Col = 6
+
+// assembleTenants merges the per-point tables and derives the isolation
+// table: each point's interactive p99 normalized to the idle baseline.
+func assembleTenants(parts [][]*Table) []*Table {
+	out := mergeParts(parts)
+	iso := &Table{ID: "tenants-isolation",
+		Title:  "interactive p99 under aggressor saturation, vs idle baseline",
+		Header: []string{"point", "p99_us", "vs_baseline"}}
+	var base float64
+	for _, row := range out[0].Rows {
+		if row[1] != className[classInteractive] {
+			continue
+		}
+		p99, err := strconv.ParseFloat(row[tenantP99Col], 64)
+		if err != nil {
+			panic(fmt.Sprintf("tenants: unparsable p99 cell %q", row[tenantP99Col]))
+		}
+		if row[0] == "baseline" {
+			base = p99
+		}
+		ratio := "0"
+		if base > 0 {
+			ratio = f2(p99 / base)
+		}
+		iso.Add(row[0], row[tenantP99Col], ratio)
+	}
+	return append(out, iso)
+}

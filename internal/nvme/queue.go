@@ -38,13 +38,22 @@ type Config struct {
 	// RetryBackoff is the delay before the first retry; it doubles per
 	// attempt. 0 uses DefaultRetryBackoff.
 	RetryBackoff sim.Time
+	// MaxRetryBackoff clamps the exponential backoff: once doubling
+	// reaches this delay, every further retry waits exactly this long.
+	// Without the clamp a large MaxRetries would shift the backoff past
+	// the width of sim.Time and schedule retries in the past. 0 uses
+	// DefaultMaxRetryBackoff.
+	MaxRetryBackoff sim.Time
 }
 
 // Retry defaults: three attempts spaced 20 µs, 40 µs, 80 µs apart —
 // comfortably above device command overhead, far below any host timeout.
+// The backoff cap matches a typical host I/O retry ceiling (10 ms):
+// generous against transient bus glitches, far below command timeouts.
 const (
-	DefaultMaxRetries   = 3
-	DefaultRetryBackoff = 20 * sim.Microsecond
+	DefaultMaxRetries      = 3
+	DefaultRetryBackoff    = 20 * sim.Microsecond
+	DefaultMaxRetryBackoff = 10 * sim.Millisecond
 )
 
 func (c *Config) maxRetries() int {
@@ -62,6 +71,33 @@ func (c *Config) retryBackoff() sim.Time {
 		return DefaultRetryBackoff
 	}
 	return c.RetryBackoff
+}
+
+func (c *Config) maxRetryBackoff() sim.Time {
+	if c.MaxRetryBackoff <= 0 {
+		return DefaultMaxRetryBackoff
+	}
+	return c.MaxRetryBackoff
+}
+
+// backoffFor computes the clamped exponential delay before retry attempt
+// (1-based). Doubling stops at the cap rather than shifting blindly, so
+// arbitrarily large attempt counts can never overflow sim.Time into a
+// negative delay (which would schedule the retry in the past and panic
+// the engine).
+func (c *Config) backoffFor(attempt int) sim.Time {
+	b := c.retryBackoff()
+	clamp := c.maxRetryBackoff()
+	if b >= clamp {
+		return clamp
+	}
+	for i := 1; i < attempt; i++ {
+		b <<= 1
+		if b >= clamp || b <= 0 {
+			return clamp
+		}
+	}
+	return b
 }
 
 // Queue sits between one engine and one ZNS device.
@@ -185,13 +221,14 @@ func (op *qop) retryable(err error) bool {
 	return errors.Is(err, storerr.ErrTransient)
 }
 
-// retry re-schedules delivery with exponential backoff.
+// retry re-schedules delivery with exponential backoff, clamped at
+// maxRetryBackoff so deep retry chains stay in causal order.
 func (op *qop) retry() {
 	q := op.q
 	op.attempt++
 	q.retries++
 	op.delayed = false // consult the injector afresh on redelivery
-	op.at = q.eng.Now() + q.cfg.retryBackoff()<<(op.attempt-1)
+	op.at = q.eng.Now() + q.cfg.backoffFor(op.attempt)
 	q.eng.AtEvent(op.at, op, 0, 0)
 }
 

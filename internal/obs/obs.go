@@ -312,9 +312,23 @@ const (
 	// ProbeReconstructs: cumulative chunks the array served by parity
 	// reconstruction (counter; dev = the failed member).
 	ProbeReconstructs
+	// ProbeTenantQD: queued plus in-flight ops of one tenant volume
+	// (gauge; dev = tenant id, capped at int16 by the key packing).
+	ProbeTenantQD
+	// ProbeTenantStalls: cumulative token-bucket throttle stalls of one
+	// tenant volume (counter; dev = tenant id).
+	ProbeTenantStalls
+	// ProbeTenantBytes: cumulative payload bytes completed for one tenant
+	// volume (counter; dev = tenant id) — the achieved share over a run.
+	ProbeTenantBytes
+	// ProbeTrimDropped: blocks whose trims a stack without a discard path
+	// silently dropped (counter; see stack.Platform.TrimDrops).
+	ProbeTrimDropped
 )
 
-func (p ProbeKind) gauge() bool { return p == ProbeQueueDepth || p == ProbeOpenZones }
+func (p ProbeKind) gauge() bool {
+	return p == ProbeQueueDepth || p == ProbeOpenZones || p == ProbeTenantQD
+}
 
 // ProbeKey packs a probe identity into a ring-record key.
 func ProbeKey(kind ProbeKind, dev, aux int) uint64 {
@@ -341,6 +355,14 @@ func ProbeName(key uint64) string {
 		return fmt.Sprintf("faults/dev%d", dev)
 	case ProbeReconstructs:
 		return fmt.Sprintf("reconstructs/dev%d", dev)
+	case ProbeTenantQD:
+		return fmt.Sprintf("tenant_qd/t%d", dev)
+	case ProbeTenantStalls:
+		return fmt.Sprintf("tenant_stalls/t%d", dev)
+	case ProbeTenantBytes:
+		return fmt.Sprintf("tenant_bytes/t%d", dev)
+	case ProbeTrimDropped:
+		return "trim_dropped"
 	}
 	return fmt.Sprintf("probe%d/dev%d/%d", kind, dev, aux)
 }

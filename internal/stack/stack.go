@@ -248,7 +248,7 @@ func NewOn(eng *sim.Engine, kind Kind, opts Options) (*Platform, error) {
 		}
 		p.RAIZN = r
 		if kind == KindRAIZN {
-			sd := &seqZoneDevice{a: r}
+			sd := &seqZoneDevice{a: r, eng: p.Eng, tr: opts.Trace}
 			p.Dev = sd
 			p.userBytes = func() uint64 { return r.WriteAmp().UserBytes }
 			break
@@ -420,11 +420,29 @@ func (p *Platform) AbsorbedBytes() uint64 {
 	return t
 }
 
+// Trace returns the observability trace the platform was assembled with
+// (nil when tracing is off), so harnesses can hang extra instrumented
+// layers — e.g. the volume manager — off the same trace.
+func (p *Platform) Trace() *obs.Trace { return p.opts.Trace }
+
+// TrimDrops reports how many blocks of trim advisories the platform has
+// silently dropped (RAIZN's sequential shim has no discard path; all
+// other platforms forward trims and report 0).
+func (p *Platform) TrimDrops() uint64 {
+	if sd, ok := p.Dev.(*seqZoneDevice); ok {
+		return sd.trimDrops
+	}
+	return 0
+}
+
 // seqZoneDevice exposes RAIZN's zoned interface as a linear block space
 // for sequential-only benchmarks (random writes fail, matching the paper's
 // missing RAIZN bars in random tests).
 type seqZoneDevice struct {
-	a *raizn.Array
+	a         *raizn.Array
+	eng       *sim.Engine
+	tr        *obs.Trace
+	trimDrops uint64
 }
 
 func (s *seqZoneDevice) BlockSize() int { return s.a.BlockSize() }
@@ -506,7 +524,21 @@ func (s *seqZoneDevice) Read(lba int64, nblocks int, done func(blockdev.ReadResu
 	})
 }
 
-func (s *seqZoneDevice) Trim(lba int64, nblocks int) {}
+// Trim is dropped, not forwarded: RAIZN has no sub-zone discard path — a
+// zoned array reclaims space only by whole-zone reset, so a block-range
+// trim has no zoned equivalent short of rewriting the zone. Upper layers
+// (lsfs, the volume manager) issue trims as advisories and must not rely
+// on them reclaiming space here. Each drop is counted so experiments can
+// see how much advisory reclaim the platform silently ignores.
+func (s *seqZoneDevice) Trim(lba int64, nblocks int) {
+	if nblocks < 1 {
+		return
+	}
+	s.trimDrops += uint64(nblocks)
+	if s.tr != nil {
+		s.tr.Counter(int64(s.eng.Now()), obs.ProbeKey(obs.ProbeTrimDropped, 0, 0), int64(s.trimDrops))
+	}
+}
 
 // installBIZA wires a (new or recovered) engine into the platform.
 func (p *Platform) installBIZA(c *core.Core) {

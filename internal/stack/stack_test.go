@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"biza/internal/blockdev"
+	"biza/internal/obs"
 	"biza/internal/sim"
 	"biza/internal/workload"
 	"biza/internal/zns"
@@ -393,4 +394,46 @@ func TestBIZASoak(t *testing.T) {
 	}
 	t.Logf("soak: %d ops, %d GC events, WA %.2f, absorbed %dMB",
 		completed, p.BIZA.GCEvents(), wa.Factor(), p.AbsorbedBytes()>>20)
+}
+
+// TestRAIZNTrimDropsCounted pins the documented limitation of the RAIZN
+// sequential shim: block-range trims have no zoned discard equivalent, so
+// they are dropped — but counted, and emitted as a probe when tracing.
+func TestRAIZNTrimDropsCounted(t *testing.T) {
+	opts := smallOpts()
+	tr := obs.New(obs.Config{})
+	opts.Trace = tr
+	p, err := New(KindRAIZN, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TrimDrops() != 0 {
+		t.Fatalf("fresh platform reports %d trim drops", p.TrimDrops())
+	}
+	p.Dev.Trim(0, 8)
+	p.Dev.Trim(100, 4)
+	p.Dev.Trim(50, 0) // degenerate range: not counted
+	if got := p.TrimDrops(); got != 12 {
+		t.Fatalf("TrimDrops = %d, want 12", got)
+	}
+	// The drop counter must be visible through the probe stream too.
+	found := false
+	for _, ps := range tr.ProbeStats() {
+		if ps.Name == "trim_dropped" && ps.Value == 12 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("trim_dropped probe not emitted at final value 12")
+	}
+	// Other platforms forward trims and report zero drops.
+	p2, err := New(KindBIZA, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Dev.Trim(0, 8)
+	p2.Eng.Run()
+	if p2.TrimDrops() != 0 {
+		t.Fatalf("BIZA platform reports %d trim drops", p2.TrimDrops())
+	}
 }

@@ -7,10 +7,11 @@
 // first report exactly.
 //
 // Compared per result: experiment id, error, tables (cell for cell),
-// samples, and histogram dumps; plus report schema, seed, quick flag, and
-// total virtual nanoseconds. Deliberately ignored: wall-clock accounting
-// (stats.wall_ns, wall_ns) and the parallel/shards provenance fields,
-// which are the only values allowed to differ between layouts.
+// samples, histogram dumps, and observability probe readings; plus report
+// schema, seed, quick flag, and total virtual nanoseconds. Deliberately
+// ignored: wall-clock accounting (stats.wall_ns, wall_ns) and the
+// parallel/shards provenance fields, which are the only values allowed to
+// differ between layouts.
 //
 // Usage: go run scripts/check_determinism.go ref.json other.json [more.json ...]
 package main
@@ -87,6 +88,10 @@ func diff(aPath string, a *bench.Report, bPath string, b *bench.Report) {
 		if ra.Stats.VirtualNanos != rb.Stats.VirtualNanos {
 			fail("%s: experiment %s simulated %d virtual ns, %s simulated %d",
 				bPath, id, rb.Stats.VirtualNanos, aPath, ra.Stats.VirtualNanos)
+		}
+		if !reflect.DeepEqual(ra.Stats.Probes, rb.Stats.Probes) {
+			fail("%s: experiment %s probe readings differ from %s (%d vs %d probes)",
+				bPath, id, aPath, len(rb.Stats.Probes), len(ra.Stats.Probes))
 		}
 	}
 }

@@ -145,6 +145,25 @@ in any table cell.""",
 Closed-loop clients over a zipf-skewed fleet still all make progress;
 the min/p50/p99 spread quantifies how much the popular arrays' queues
 slow the clients that visit them.""",
+    "tenants": """Extension experiment: multi-tenant QoS isolation
+(`bizabench -exp tenants`, sharded like the fleet — byte-identical at
+any `-shards`). Each array's block front end is multiplexed into named
+tenant volumes (`internal/volume`): a latency-sensitive interactive
+class (weight 16), a rate-limited batch class (weight 4 plus a token
+bucket), and one saturating aggressor per array issuing deep 128 KiB
+sequential writes. Three points share the workload: `baseline` idles
+the aggressors, `qos` runs them under weighted-fair queueing with a
+bounded dispatch window, `noqos` disables admission control. With QoS
+the aggressor still gets throughput but the interactive class keeps
+near-baseline tails and batch tenants hit their token bucket (nonzero
+stalls); without it every class queues behind the aggressor backlog.
+The jain column is Jain's fairness index over per-tenant completed ops
+within the class (1.0 = perfectly even).""",
+    "tenants-isolation": """The distilled isolation claim: each point's interactive p99 normalized
+to the idle baseline. QoS holds the noisy-neighbor degradation under
+the 2x acceptance bound pinned by `TestTenantsIsolation`; disabling it
+lets the same workload blow past the bound — the gap between the two
+rows is what the volume layer's WFQ + bounded window buys.""",
     "avail": """Extension experiment: availability across a member failure. A
 byte-verified closed-loop workload runs while a deterministic fault plan
 kills one member mid-run; the array detects the death from completion
@@ -159,7 +178,7 @@ on any lost or torn acknowledged write.""",
 ORDER = ["table2", "table3", "table6", "fig4", "fig5", "fig10a", "fig10b",
          "fig11a", "fig11b", "fig12", "fig13a", "fig13b", "fig14", "fig15",
          "fig16", "fig17", "detect", "batching", "wear", "append", "avail",
-         "fleet", "fleet-clients", "future"]
+         "fleet", "fleet-clients", "tenants", "tenants-isolation", "future"]
 
 HEADER = """# EXPERIMENTS — paper versus measured
 

@@ -1,0 +1,112 @@
+package biza
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestOpenVolumeRoundTrip: two tenants on a real BIZA array read back
+// their own data through disjoint volume-relative address spaces.
+func TestOpenVolumeRoundTrip(t *testing.T) {
+	a, err := New(Options{StoreData: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := a.OpenVolume("tenant-a", VolumeOptions{Blocks: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := a.OpenVolume("tenant-b", VolumeOptions{Blocks: 256, QoS: VolumeQoS{Weight: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pa := bytes.Repeat([]byte{0xaa}, 4*a.BlockSize())
+	pb := bytes.Repeat([]byte{0xbb}, 4*a.BlockSize())
+	// Both tenants write "their" LBA 0 — the manager must keep them apart.
+	if err := va.WriteSync(0, 4, pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := vb.WriteSync(0, 4, pb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := va.ReadSync(0, 4)
+	if err != nil || !bytes.Equal(got, pa) {
+		t.Fatalf("tenant-a read back: err=%v match=%v", err, bytes.Equal(got, pa))
+	}
+	got, err = vb.ReadSync(0, 4)
+	if err != nil || !bytes.Equal(got, pb) {
+		t.Fatalf("tenant-b read back: err=%v match=%v", err, bytes.Equal(got, pb))
+	}
+
+	// Volume-relative bounds are enforced even though the array is larger.
+	if err := va.WriteSync(255, 2, nil); err == nil {
+		t.Fatal("cross-boundary write succeeded")
+	}
+	if st := va.Stats(); st.Writes != 1 || st.Reads != 1 {
+		t.Fatalf("tenant-a stats %+v", st)
+	}
+}
+
+func TestConfigureVolumesOnceOnly(t *testing.T) {
+	a, err := New(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ConfigureVolumes(VolumeManagerConfig{MaxInflight: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ConfigureVolumes(VolumeManagerConfig{}); err == nil {
+		t.Fatal("second ConfigureVolumes succeeded")
+	}
+	if _, err := a.OpenVolume("v", VolumeOptions{Blocks: 16}); err != nil {
+		t.Fatal(err)
+	}
+	// OpenVolume after exhausting capacity errors instead of overlapping.
+	if _, err := a.OpenVolume("huge", VolumeOptions{Blocks: a.Blocks()}); err == nil {
+		t.Fatal("over-capacity open succeeded")
+	}
+}
+
+// TestHealthNilForNonBIZAKinds pins the documented Health contract:
+// baseline platforms have no member-state tracking and report nil.
+func TestHealthNilForNonBIZAKinds(t *testing.T) {
+	for _, k := range []Kind{RAIZN, MdraidConvSSD, DmzapRAIZN} {
+		a, err := New(Options{Kind: k, Seed: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if h := a.Health(); h != nil {
+			t.Fatalf("%v: Health() = %v, want nil", k, h)
+		}
+	}
+	a, err := New(Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := a.Health(); len(h) == 0 {
+		t.Fatal("BIZA kind: Health() empty, want member states")
+	}
+}
+
+func TestVolumeErrorsSurface(t *testing.T) {
+	a, err := New(Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.OpenVolume("v", VolumeOptions{Blocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WriteSync(-1, 1, nil); err == nil {
+		t.Fatal("negative lba accepted")
+	}
+	if _, err := v.ReadSync(64, 1); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	// Bounds errors are blockdev sentinels, not crash errors.
+	if err := v.WriteSync(63, 2, nil); errors.Is(err, ErrCrashed) {
+		t.Fatalf("cross-boundary write reported crash: %v", err)
+	}
+}
