@@ -31,6 +31,7 @@ import (
 	"biza/internal/kvstore"
 	"biza/internal/lsfs"
 	"biza/internal/metrics"
+	"biza/internal/ops"
 	"biza/internal/sim"
 	"biza/internal/stack"
 	"biza/internal/storerr"
@@ -386,6 +387,23 @@ func (a *Array) NewFS() (*lsfs.FS, error) {
 func (a *Array) OpenKV(fs *lsfs.FS) (*kvstore.DB, error) {
 	return kvstore.Open(a.p.Eng, fs, kvstore.DefaultConfig())
 }
+
+// OpsServer is the embeddable live observability endpoint: it serves
+// /metrics (Prometheus exposition), /vars (JSON snapshot), /series
+// (virtual-time series), /stream (server-sent events), /healthz,
+// /readyz, and /debug/pprof. Producers publish immutable OpsSnapshot
+// values; handlers only read published snapshots, so serving never
+// perturbs a deterministic simulation. bizabench -serve uses exactly
+// this server.
+type OpsServer = ops.Server
+
+// OpsSnapshot is one immutable published view served by an OpsServer.
+type OpsSnapshot = ops.Snapshot
+
+// NewOpsServer returns a live ops endpoint with an empty (not yet ready)
+// snapshot published. Embed its Handler into an existing HTTP server or
+// call Start to listen on an address.
+func NewOpsServer() *OpsServer { return ops.New() }
 
 // Engine exposes the simulation engine for advanced event-driven callers.
 func (a *Array) Engine() *sim.Engine { return a.p.Eng }

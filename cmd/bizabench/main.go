@@ -11,6 +11,8 @@
 //	bizabench -exp fig10 -trace fig10.json   # Perfetto trace of every platform
 //	bizabench -exp fleet -shards 8           # sharded fleet across 8 engine shards
 //	bizabench -exp tenants -shards 4         # multi-tenant QoS isolation, sharded
+//	bizabench -exp fig10 -series -json out.json   # virtual-time series in the report
+//	bizabench -exp all -quick -serve :9178   # live ops endpoint during the sweep
 //
 // Results are bit-identical for a given -seed regardless of -parallel
 // or -shards:
@@ -25,12 +27,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"biza/internal/bench"
+	"biza/internal/metrics"
 	"biza/internal/obs"
+	"biza/internal/ops"
 )
 
 func main() { os.Exit(run()) }
@@ -43,7 +49,9 @@ func run() int {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for independent experiment points")
 	shards := flag.Int("shards", runtime.NumCPU(), "engine shards per point for sharded experiments (fleet, tenants); output is identical at any value")
 	seed := flag.Uint64("seed", bench.DefaultSeed, "base seed for all derived RNG streams")
-	jsonPath := flag.String("json", "", "write machine-readable results (biza-bench/v2 schema) to this file")
+	jsonPath := flag.String("json", "", "write machine-readable results ("+bench.ReportSchema+" schema) to this file")
+	series := flag.Bool("series", false, "sample virtual-time series into the report's \"series\" section (deterministic at any -parallel/-shards)")
+	serve := flag.String("serve", "", "serve the live ops endpoint (/metrics /vars /series /stream /debug/pprof) on this address; blocks after the sweep until SIGINT/SIGTERM")
 	stats := flag.Bool("stats", true, "print per-experiment wall/virtual-time accounting to stderr")
 	tracePath := flag.String("trace", "", "write a Perfetto trace_event JSON trace to this file")
 	traceJSONL := flag.String("trace-jsonl", "", "write a compact JSONL trace to this file")
@@ -107,7 +115,25 @@ func run() int {
 	if *tracePath != "" || *traceJSONL != "" {
 		runner.Trace = &obs.Config{SampleN: *traceSample}
 	}
+	if *series || *serve != "" {
+		runner.Series = &metrics.SamplerConfig{} // defaults: 50µs cadence, 512 points
+	}
+	var opsSrv *ops.Server
+	if *serve != "" {
+		opsSrv = ops.New()
+		addr, err := opsSrv.Start(*serve)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bizabench: ops endpoint: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "# ops endpoint on http://%s (/metrics /vars /series /stream /debug/pprof)\n", addr)
+		opsSrv.Attach(runner)
+		defer opsSrv.Close()
+	}
 	rep := runner.Run(ids)
+	if opsSrv != nil {
+		opsSrv.Finish(rep)
+	}
 
 	writeTrace := func(path string, write func(w *os.File, trs []*obs.Trace) error) bool {
 		f, err := os.Create(path)
@@ -177,6 +203,13 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "bizabench: writing %s: %v\n", *jsonPath, err)
 			return 1
 		}
+	}
+
+	if opsSrv != nil {
+		fmt.Fprintln(os.Stderr, "# sweep complete; ops endpoint serving until SIGINT/SIGTERM")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
 
 	if failed := rep.Failed(); len(failed) > 0 {

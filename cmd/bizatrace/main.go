@@ -12,6 +12,13 @@
 //
 //	bizatrace explain fig10.json
 //	bizatrace explain -top 20 fig10.jsonl
+//
+// The attr subcommand decomposes every completed span in such a trace
+// into per-stage latency attribution (qos-stall, queue, xfer, bus, die,
+// buffer, unattributed) whose stage means sum exactly to the end-to-end
+// mean:
+//
+//	bizatrace attr fig10.jsonl
 package main
 
 import (
@@ -46,9 +53,33 @@ func explainMain(args []string) {
 	}
 }
 
+// attrMain implements "bizatrace attr <trace file>".
+func attrMain(args []string) {
+	fs := flag.NewFlagSet("bizatrace attr", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bizatrace attr <trace.json|trace.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := obs.Attr(f, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "bizatrace attr: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "explain" {
 		explainMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "attr" {
+		attrMain(os.Args[2:])
 		return
 	}
 	name := flag.String("workload", "casa", "workload profile (see -list)")

@@ -71,10 +71,13 @@ type Run struct {
 	// a fresh obs.Trace to every stack it assembles; PublishHistogram
 	// collects latency distributions. Both are drained by the Runner after
 	// RunPoint returns, in canonical point order, so the report is
-	// bit-identical for any Parallel value.
-	traceCfg *obs.Config
-	traces   []*obs.Trace
-	hists    []HistogramDump
+	// bit-identical for any Parallel value. seriesCfg additionally arms a
+	// virtual-time sampler on every attached trace (the report's "series"
+	// section).
+	traceCfg  *obs.Config
+	seriesCfg *metrics.SamplerConfig
+	traces    []*obs.Trace
+	hists     []HistogramDump
 }
 
 // NewRun returns a run context for one experiment. Tests and direct
@@ -149,6 +152,12 @@ func (r *Run) PlatformOn(eng *sim.Engine, shard int, kind stack.Kind, opts stack
 		}
 		tr.SetName(fmt.Sprintf("%s/%d/%s", name, len(r.traces), kind))
 		tr.SetShard(shard)
+		if r.seriesCfg != nil {
+			tr.EnableSampler(*r.seriesCfg)
+			// Extend the series through any probe-quiet tail: by finalize
+			// time the engine clock holds the run's end.
+			tr.OnFinalize(func() { tr.AdvanceSampler(eng.Now()) })
+		}
 		r.traces = append(r.traces, tr)
 		opts.Trace = tr
 	}
@@ -160,6 +169,28 @@ func (r *Run) PlatformOn(eng *sim.Engine, shard int, kind stack.Kind, opts stack
 func (r *Run) EnableTrace(cfg obs.Config) {
 	c := cfg
 	r.traceCfg = &c
+}
+
+// EnableSeries arms a virtual-time series sampler on every trace this run
+// attaches (the Runner does this when Runner.Series is set). Requires
+// tracing: enabling series without EnableTrace also enables tracing with
+// the default config.
+func (r *Run) EnableSeries(cfg metrics.SamplerConfig) {
+	c := cfg
+	r.seriesCfg = &c
+	if r.traceCfg == nil {
+		r.traceCfg = &obs.Config{}
+	}
+}
+
+// Series drains the sampled virtual-time series of every attached trace,
+// in construction order (finalizing each trace first).
+func (r *Run) Series() []metrics.SeriesDump {
+	var out []metrics.SeriesDump
+	for _, tr := range r.Traces() {
+		out = append(out, tr.SeriesDumps()...)
+	}
+	return out
 }
 
 // Traces returns the traces attached so far, in construction order. Each

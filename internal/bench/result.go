@@ -12,10 +12,12 @@ import (
 )
 
 // ReportSchema identifies the JSON artifact layout emitted by the Runner
-// (the BENCH_results.json perf-trajectory format). v2 adds per-result
+// (the BENCH_results.json perf-trajectory format). v2 added per-result
 // histogram bucket vectors ("histograms") and probe snapshots
-// ("stats.probes"); v1 consumers ignore both.
-const ReportSchema = "biza-bench/v2"
+// ("stats.probes"); v3 adds virtual-time series ("series", present when
+// the sweep runs with -series). Consumers of older schemas ignore the
+// additions.
+const ReportSchema = "biza-bench/v3"
 
 // Sample is one machine-readable metric cell extracted from a table:
 // the value of one metric column for one identity row.
@@ -38,13 +40,18 @@ type HistogramDump struct {
 
 // Result is the machine-readable outcome of one experiment run.
 type Result struct {
-	Experiment string           `json:"experiment"`
-	Seed       uint64           `json:"seed"`
-	Tables     []*Table         `json:"tables,omitempty"`
-	Samples    []Sample         `json:"samples,omitempty"`
-	Histograms []HistogramDump  `json:"histograms,omitempty"`
-	Stats      metrics.RunStats `json:"stats"`
-	Error      string           `json:"error,omitempty"`
+	Experiment string          `json:"experiment"`
+	Seed       uint64          `json:"seed"`
+	Tables     []*Table        `json:"tables,omitempty"`
+	Samples    []Sample        `json:"samples,omitempty"`
+	Histograms []HistogramDump `json:"histograms,omitempty"`
+	// Series holds the virtual-time series sampled from every trace the
+	// experiment attached (canonical construction order), when the sweep
+	// ran with series collection on. Deterministic: byte-identical at any
+	// -parallel or -shards value.
+	Series []metrics.SeriesDump `json:"series,omitempty"`
+	Stats  metrics.RunStats     `json:"stats"`
+	Error  string               `json:"error,omitempty"`
 }
 
 // Report is the top-level JSON artifact of a runner sweep.

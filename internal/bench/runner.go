@@ -28,6 +28,18 @@ type Runner struct {
 	// point assembles gets an obs.Trace with this config, gathered into
 	// Report.Traces in canonical order (byte-identical across Parallel).
 	Trace *obs.Config
+
+	// Series arms a virtual-time sampler on every attached trace; the
+	// sampled series land in Result.Series in canonical order. Implies
+	// tracing (a default Trace config is used when Trace is nil).
+	Series *metrics.SamplerConfig
+
+	// Observer, when set, is called after each config point completes
+	// (successfully or not), from the worker goroutine that ran it. The
+	// run's traces and histograms are final by then. The live ops endpoint
+	// publishes progress snapshots from this hook; it must be safe for
+	// concurrent calls.
+	Observer func(experiment, point string, run *Run)
 }
 
 // unit is one schedulable shard: a single config point of one experiment.
@@ -117,6 +129,7 @@ func (rn *Runner) Run(ids []string) *Report {
 				res.Histograms = append(res.Histograms, run.Histograms()...)
 				for _, tr := range run.Traces() {
 					res.Stats.Probes = metrics.MergeProbes(res.Stats.Probes, tr.ProbeStats())
+					res.Series = append(res.Series, tr.SeriesDumps()...)
 					rep.Traces = append(rep.Traces, tr)
 				}
 			}
@@ -150,6 +163,14 @@ func (rn *Runner) runUnit(id string, e *Experiment, u unit,
 		}
 	}()
 	run := &Run{base: rn.Seed, exp: id, point: e.Points[u.point], shards: rn.Shards, vt: sink, traceCfg: rn.Trace}
+	if rn.Series != nil {
+		run.EnableSeries(*rn.Series)
+	}
 	runs[u.point] = run
+	if rn.Observer != nil {
+		// Deferred so panicking points publish their partial state too
+		// (the panic itself is recorded by the outer recover afterwards).
+		defer func() { rn.Observer(id, e.Points[u.point], run) }()
+	}
 	parts[u.point] = e.RunPoint(rn.Scale, run, e.Points[u.point])
 }

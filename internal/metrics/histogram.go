@@ -7,6 +7,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -16,9 +17,14 @@ import (
 type Histogram struct {
 	counts []uint64
 	total  uint64
-	sum    float64
-	min    int64
-	max    int64
+	// 128-bit integer sample sum (sumHi:sumLo). A float64 accumulator here
+	// drifts: once the running sum passes 2^53, each added ~2^40 ns sample
+	// loses low bits, skewing Mean() on long runs. The integer sum is exact;
+	// Mean rounds exactly once, at the final division.
+	sumHi uint64
+	sumLo uint64
+	min   int64
+	max   int64
 }
 
 const (
@@ -79,7 +85,9 @@ func (h *Histogram) Record(v int64) {
 	}
 	h.counts[bucketOf(v)]++
 	h.total++
-	h.sum += float64(v)
+	var carry uint64
+	h.sumLo, carry = bits.Add64(h.sumLo, uint64(v), 0)
+	h.sumHi += carry
 	if v < h.min {
 		h.min = v
 	}
@@ -96,7 +104,13 @@ func (h *Histogram) Mean() float64 {
 	if h.total == 0 {
 		return 0
 	}
-	return h.sum / float64(h.total)
+	if h.sumHi == 0 {
+		return float64(h.sumLo) / float64(h.total)
+	}
+	// Sum exceeds 64 bits: reconstruct hi*2^64 + lo in float space. The two
+	// conversions round, but the accumulated sum itself is exact, so the
+	// relative error stays within a couple of ulps regardless of run length.
+	return (float64(h.sumHi)*0x1p64 + float64(h.sumLo)) / float64(h.total)
 }
 
 // Min reports the smallest sample, or 0 when empty.
@@ -151,7 +165,9 @@ func (h *Histogram) Merge(other *Histogram) {
 		h.counts[b] += c
 	}
 	h.total += other.total
-	h.sum += other.sum
+	var carry uint64
+	h.sumLo, carry = bits.Add64(h.sumLo, other.sumLo, 0)
+	h.sumHi += other.sumHi + carry
 	if other.total > 0 {
 		if other.min < h.min {
 			h.min = other.min
@@ -167,7 +183,7 @@ func (h *Histogram) Reset() {
 	for i := range h.counts {
 		h.counts[i] = 0
 	}
-	h.total, h.sum, h.max = 0, 0, 0
+	h.total, h.sumHi, h.sumLo, h.max = 0, 0, 0, 0
 	h.min = math.MaxInt64
 }
 

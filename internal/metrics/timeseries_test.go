@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"testing"
+)
+
+func TestSamplerTicksAtInterval(t *testing.T) {
+	s := NewSampler(SamplerConfig{Interval: 100, MaxPoints: 1024})
+	var v float64
+	s.Register("x", ProbeGauge, func() float64 { return v })
+
+	// First advance covers ticks at t=0..500 inclusive: 6 ticks.
+	v = 1
+	s.Advance(500)
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", s.Len())
+	}
+	// A catch-up jump records the missing ticks with the value visible at
+	// advance time (piecewise-constant interpolation).
+	v = 7
+	s.Advance(1000)
+	if s.Len() != 11 {
+		t.Fatalf("Len = %d, want 11", s.Len())
+	}
+	d := s.Dump("tr")
+	if len(d) != 1 {
+		t.Fatalf("Dump series = %d, want 1", len(d))
+	}
+	want := []float64{1, 1, 1, 1, 1, 1, 7, 7, 7, 7, 7}
+	if len(d[0].Points) != len(want) {
+		t.Fatalf("points = %v, want %v", d[0].Points, want)
+	}
+	for i, p := range d[0].Points {
+		if p != want[i] {
+			t.Fatalf("points[%d] = %v, want %v (all: %v)", i, p, want[i], want)
+		}
+	}
+	if d[0].Trace != "tr" || d[0].Name != "x" || d[0].Kind != ProbeGauge || d[0].IntervalNs != 100 {
+		t.Fatalf("dump metadata wrong: %+v", d[0])
+	}
+}
+
+func TestSamplerAdvanceIsIdempotentAtSameTime(t *testing.T) {
+	s := NewSampler(SamplerConfig{Interval: 100, MaxPoints: 64})
+	s.Register("x", ProbeCounter, func() float64 { return 1 })
+	s.Advance(250)
+	n := s.Len()
+	s.Advance(250)
+	s.Advance(250)
+	if s.Len() != n {
+		t.Fatalf("re-advancing at same ts grew series: %d -> %d", n, s.Len())
+	}
+}
+
+func TestSamplerDecimation(t *testing.T) {
+	s := NewSampler(SamplerConfig{Interval: 10, MaxPoints: 8})
+	tick := 0.0
+	s.Register("t", ProbeGauge, func() float64 { return tick })
+
+	// Feed a ramp: at tick k the source reads k. Advance one tick at a time
+	// so every recorded point equals its tick index.
+	for k := 0; k < 20; k++ {
+		tick = float64(k)
+		s.Advance(int64(k * 10))
+	}
+	// 20 ticks through a MaxPoints=8 ring: decimation doubled the interval
+	// (possibly more than once) but points must remain a prefix-preserving
+	// subsample: point j holds the value from tick j*(interval/10).
+	d := s.Dump("")
+	stride := s.Interval() / 10
+	if stride < 2 {
+		t.Fatalf("expected at least one decimation, interval = %d", s.Interval())
+	}
+	if s.Len() > 8 {
+		t.Fatalf("Len = %d exceeds MaxPoints", s.Len())
+	}
+	for j, p := range d[0].Points {
+		if want := float64(int64(j) * stride); p != want {
+			t.Fatalf("decimated points[%d] = %v, want %v (interval %d, points %v)",
+				j, p, want, s.Interval(), d[0].Points)
+		}
+	}
+	// Coverage must span the whole run: the last retained tick is within one
+	// (doubled) interval of the final advance time.
+	last := int64(s.Len()-1) * s.Interval()
+	if last < 190-s.Interval() {
+		t.Fatalf("series ends at %d, run ended at 190 (interval %d)", last, s.Interval())
+	}
+}
+
+func TestSamplerLateRegistrationBackfillsZero(t *testing.T) {
+	s := NewSampler(SamplerConfig{Interval: 10, MaxPoints: 64})
+	s.Register("a", ProbeCounter, func() float64 { return 1 })
+	s.Advance(40) // 5 ticks
+	s.Register("b", ProbeCounter, func() float64 { return 2 })
+	s.Advance(80) // 4 more
+	d := s.Dump("")
+	if len(d) != 2 {
+		t.Fatalf("series = %d, want 2", len(d))
+	}
+	if len(d[0].Points) != len(d[1].Points) {
+		t.Fatalf("series lengths differ: %d vs %d", len(d[0].Points), len(d[1].Points))
+	}
+	for i, p := range d[1].Points {
+		want := 0.0
+		if i >= 5 {
+			want = 2.0
+		}
+		if p != want {
+			t.Fatalf("late series points[%d] = %v, want %v (%v)", i, p, want, d[1].Points)
+		}
+	}
+}
+
+func TestSamplerDumpCopies(t *testing.T) {
+	s := NewSampler(SamplerConfig{Interval: 10, MaxPoints: 16})
+	s.Register("a", ProbeGauge, func() float64 { return 3 })
+	s.Advance(20)
+	d := s.Dump("")
+	d[0].Points[0] = -1
+	d2 := s.Dump("")
+	if d2[0].Points[0] != 3 {
+		t.Fatalf("Dump aliases internal ring: %v", d2[0].Points)
+	}
+}
+
+func TestSamplerNilDump(t *testing.T) {
+	var s *Sampler
+	if s.Dump("x") != nil {
+		t.Fatal("nil sampler Dump should be nil")
+	}
+}
+
+// The sampler hot path (Due check + catch-up Advance) must never allocate
+// in steady state, including across decimations: rings are preallocated at
+// MaxPoints capacity and decimation compacts in place.
+func TestSamplerAdvanceAllocFree(t *testing.T) {
+	s := NewSampler(SamplerConfig{Interval: 10, MaxPoints: 32})
+	s.Register("a", ProbeGauge, func() float64 { return 1 })
+	s.Register("b", ProbeCounter, func() float64 { return 2 })
+	ts := int64(0)
+	allocs := testing.AllocsPerRun(5000, func() {
+		ts += 7
+		if s.Due(ts) {
+			s.Advance(ts)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("sampler Advance allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkSamplerAdvance(b *testing.B) {
+	s := NewSampler(SamplerConfig{Interval: 10, MaxPoints: 512})
+	for i := 0; i < 8; i++ {
+		v := float64(i)
+		s.Register("s", ProbeGauge, func() float64 { return v })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	ts := int64(0)
+	for i := 0; i < b.N; i++ {
+		ts += 10
+		s.Advance(ts)
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func buildAttrTrace() *Trace {
+	tr := New(Config{})
+	tr.SetName("attr-test")
+	// Span 1: queue [0,100) and die [50,200) overlap on [50,100); the
+	// deeper die stage must win that interval. [200,300) is uncovered.
+	id1 := tr.SpanBegin(0, LayerBIZA, OpWrite, 0, 0, 0, 8)
+	tr.Mark(id1, 0, 100, LayerNVMe, PhaseQueue, 0, 0, -1)
+	tr.Mark(id1, 50, 200, LayerZNS, PhaseDie, 0, 0, 1)
+	tr.SpanEnd(id1, 300, false)
+	// Span 2: a QoS admission stall then queue time, 50ns unattributed.
+	id2 := tr.SpanBegin(1000, LayerBIZA, OpWrite, 0, 0, 8, 8)
+	tr.Mark(id2, 1000, 1100, LayerVolume, PhaseQoS, -1, -1, -1)
+	tr.Mark(id2, 1100, 1150, LayerNVMe, PhaseQueue, 0, 0, -1)
+	tr.SpanEnd(id2, 1200, false)
+	// A read population in its own group.
+	id3 := tr.SpanBegin(2000, LayerBIZA, OpRead, 0, 0, 16, 4)
+	tr.Mark(id3, 2010, 2090, LayerZNS, PhaseDie, 0, 0, 2)
+	tr.SpanEnd(id3, 2100, false)
+	return tr
+}
+
+func attrFrom(t *testing.T, export func(*bytes.Buffer, []*Trace)) *Attribution {
+	t.Helper()
+	var buf bytes.Buffer
+	export(&buf, []*Trace{buildAttrTrace()})
+	a, err := Attribute(&buf)
+	if err != nil {
+		t.Fatalf("Attribute: %v", err)
+	}
+	return a
+}
+
+func checkAttr(t *testing.T, a *Attribution, format string) {
+	t.Helper()
+	if len(a.Procs) != 1 {
+		t.Fatalf("%s: procs = %d, want 1", format, len(a.Procs))
+	}
+	p := a.Procs[0]
+	if p.Name != "attr-test" {
+		t.Fatalf("%s: proc name = %q", format, p.Name)
+	}
+	if a.Spans != 3 || a.Open != 0 {
+		t.Fatalf("%s: spans=%d open=%d, want 3/0", format, a.Spans, a.Open)
+	}
+	if len(p.Groups) != 2 {
+		t.Fatalf("%s: groups = %d, want 2", format, len(p.Groups))
+	}
+	// Sorted by name: "biza read" before "biza write".
+	read, write := p.Groups[0], p.Groups[1]
+	if read.Name != "biza read" || write.Name != "biza write" {
+		t.Fatalf("%s: group order %q, %q", format, read.Name, write.Name)
+	}
+
+	// Write population: spans of 300 (queue=50, die=150, other=100) and
+	// 200 (qos=100, queue=50, other=50).
+	if got := write.E2E.Mean(); got != 250 {
+		t.Fatalf("%s: write e2e mean = %v, want 250", format, got)
+	}
+	wantStage := map[int]float64{
+		StageQoS:   50,
+		StageQueue: 50,
+		StageDie:   75,
+		StageOther: 75,
+	}
+	for st, want := range wantStage {
+		if got := write.Stage[st].Mean(); got != want {
+			t.Fatalf("%s: write stage %s mean = %v, want %v",
+				format, AttrStageNames[st], got, want)
+		}
+	}
+
+	// The partition property: per-stage means sum exactly to the
+	// end-to-end mean, for every group.
+	for _, g := range p.Groups {
+		var sum float64
+		for _, h := range g.Stage {
+			sum += h.Mean()
+		}
+		if math.Abs(sum-g.E2E.Mean()) > 1e-9 {
+			t.Fatalf("%s: group %s stage means sum to %v, e2e mean %v",
+				format, g.Name, sum, g.E2E.Mean())
+		}
+		if g.E2E.Count() == 0 {
+			t.Fatalf("%s: group %s has no spans", format, g.Name)
+		}
+		for _, h := range g.Stage {
+			if h.Count() != g.E2E.Count() {
+				t.Fatalf("%s: group %s stage count %d != e2e count %d (every span must record every stage)",
+					format, g.Name, h.Count(), g.E2E.Count())
+			}
+		}
+	}
+
+	// Single-span read group: percentiles are exact, so stage p50s sum
+	// exactly to the e2e p50 — the strong form of the "sums within bucket
+	// width" attribution guarantee.
+	var p50sum int64
+	for _, h := range read.Stage {
+		p50sum += h.Percentile(50)
+	}
+	if e2e := read.E2E.Percentile(50); p50sum != e2e {
+		t.Fatalf("%s: read stage p50 sum = %d, e2e p50 = %d", format, p50sum, e2e)
+	}
+}
+
+func TestAttributeJSONL(t *testing.T) {
+	a := attrFrom(t, func(b *bytes.Buffer, tr []*Trace) { WriteJSONL(b, tr) })
+	checkAttr(t, a, "jsonl")
+}
+
+func TestAttributePerfetto(t *testing.T) {
+	a := attrFrom(t, func(b *bytes.Buffer, tr []*Trace) { WritePerfetto(b, tr) })
+	checkAttr(t, a, "perfetto")
+}
+
+func TestAttrReport(t *testing.T) {
+	var buf bytes.Buffer
+	WriteJSONL(&buf, []*Trace{buildAttrTrace()})
+	var out bytes.Buffer
+	if err := Attr(&buf, &out); err != nil {
+		t.Fatalf("Attr: %v", err)
+	}
+	rep := out.String()
+	for _, want := range []string{"attr-test", "biza write", "qos-stall", "unattributed", "p99_us"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestAttrNoSpans(t *testing.T) {
+	if err := Attr(strings.NewReader("{}\n"), &bytes.Buffer{}); err == nil {
+		t.Fatal("Attr on spanless input should error")
+	}
+}
+
+func TestAttributeOpenSpansCounted(t *testing.T) {
+	tr := New(Config{})
+	tr.SpanBegin(0, LayerBIZA, OpWrite, 0, 0, 0, 8) // never ended
+	var buf bytes.Buffer
+	WriteJSONL(&buf, []*Trace{tr})
+	a, err := Attribute(&buf)
+	if err != nil {
+		t.Fatalf("Attribute: %v", err)
+	}
+	if a.Open != 1 || a.Spans != 0 {
+		t.Fatalf("open=%d spans=%d, want 1/0", a.Open, a.Spans)
+	}
+}

@@ -208,10 +208,12 @@ func (p *explainProc) write(w io.Writer, top int) {
 	}
 }
 
-// perfettoEvent is the subset of trace_event fields Explain needs.
+// perfettoEvent is the subset of trace_event fields Explain and
+// Attribute need.
 type perfettoEvent struct {
 	Name string          `json:"name"`
 	Ph   string          `json:"ph"`
+	Cat  string          `json:"cat"`
 	ID   uint64          `json:"id"`
 	Pid  int             `json:"pid"`
 	Tid  int             `json:"tid"`

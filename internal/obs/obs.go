@@ -38,6 +38,9 @@ const (
 	LayerBIZA
 	LayerRAIZN
 	LayerZapRAID
+	LayerVolume
+
+	numLayers // sentinel for exhaustiveness tests; keep last
 )
 
 func (l Layer) String() string {
@@ -54,6 +57,8 @@ func (l Layer) String() string {
 		return "raizn"
 	case LayerZapRAID:
 		return "zapraid"
+	case LayerVolume:
+		return "volume"
 	}
 	return "unknown"
 }
@@ -67,6 +72,8 @@ const (
 	OpRead
 	OpAppend
 	OpReset
+
+	numOps // sentinel for exhaustiveness tests; keep last
 )
 
 func (o Op) String() string {
@@ -86,15 +93,20 @@ func (o Op) String() string {
 // Phase is one service interval inside a span's lifecycle.
 type Phase uint8
 
-// Span phases, in lifecycle order: queueing in the driver, the host-device
-// transfer link, the flash channel bus, the die program/read pipeline, and
-// the ZRWA/DRAM buffer write.
+// Span phases, in lifecycle order: QoS admission stall, queueing in the
+// driver, the host-device transfer link, the flash channel bus, the die
+// program/read pipeline, and the ZRWA/DRAM buffer write.
 const (
 	PhaseQueue Phase = iota
 	PhaseXfer
 	PhaseBus
 	PhaseDie
 	PhaseBuffer
+	// PhaseQoS: time a volume-layer op spent stalled on token-bucket
+	// admission before entering the fair queue.
+	PhaseQoS
+
+	numPhases // sentinel for exhaustiveness tests; keep last
 )
 
 func (p Phase) String() string {
@@ -109,6 +121,8 @@ func (p Phase) String() string {
 		return "die"
 	case PhaseBuffer:
 		return "buffer"
+	case PhaseQoS:
+		return "qos-stall"
 	}
 	return "unknown"
 }
@@ -123,6 +137,8 @@ const (
 	SegProgramBus Seg = iota // channel bus transfer of a ZRWA commit batch
 	SegProgramDie            // die program of a ZRWA commit batch
 	SegErase                 // per-die zone reset erase
+
+	numSegs // sentinel for exhaustiveness tests; keep last
 )
 
 func (s Seg) String() string {
@@ -168,6 +184,8 @@ const (
 	// blocks dropped, Arg1 = pending blocks hardened by the capacitor
 	// flush.
 	EvPowerLoss
+
+	numEventKinds // sentinel for exhaustiveness tests; keep last
 )
 
 func (e EventKind) String() string {
@@ -324,6 +342,8 @@ const (
 	// ProbeTrimDropped: blocks whose trims a stack without a discard path
 	// silently dropped (counter; see stack.Platform.TrimDrops).
 	ProbeTrimDropped
+
+	numProbeKinds // sentinel for exhaustiveness tests; keep last
 )
 
 func (p ProbeKind) gauge() bool {
@@ -406,6 +426,13 @@ type Trace struct {
 	probeSeq []uint64 // insertion order, for deterministic export
 	finals   []func()
 	final    bool
+
+	// Optional virtual-time series sampler (see EnableSampler). Driven by
+	// probe emissions: Counter advances it past any due ticks before
+	// applying the update, so each tick records the values visible at its
+	// exact virtual time. Probe emission order within one engine is
+	// shard-count- and worker-count-invariant, so the series are too.
+	sampler *metrics.Sampler
 }
 
 // New returns an empty trace.
@@ -559,11 +586,21 @@ func (t *Trace) Counter(ts int64, key uint64, v int64) {
 	if t == nil {
 		return
 	}
+	// Catch up the sampler BEFORE applying the update: each due tick then
+	// snapshots the values that were current at its virtual time, giving
+	// exact piecewise-constant series without the sampler needing its own
+	// engine events (which would keep the run's event heap from draining).
+	if t.sampler != nil && t.sampler.Due(ts) {
+		t.sampler.Advance(ts)
+	}
 	agg := t.probes[key]
 	if agg == nil {
 		agg = &probeAgg{key: key}
 		t.probes[key] = agg
 		t.probeSeq = append(t.probeSeq, key)
+		if t.sampler != nil {
+			t.registerProbeSeries(agg)
+		}
 	}
 	agg.last = v
 	if v > agg.max {

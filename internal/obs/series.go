@@ -1,0 +1,64 @@
+package obs
+
+import "biza/internal/metrics"
+
+// Virtual-time series support: an optional metrics.Sampler attached to a
+// Trace. The sampler has no events of its own — Counter catches it up past
+// any due ticks before applying each probe update (see Counter), so series
+// content is a pure function of the deterministic probe emission stream.
+
+// EnableSampler attaches a virtual-time series sampler. Every probe the
+// trace has seen (or later sees) becomes a sampled source automatically,
+// in probe-first-seen order; SampleFunc adds custom sources. Nil-safe;
+// enabling twice replaces the sampler.
+func (t *Trace) EnableSampler(cfg metrics.SamplerConfig) {
+	if t == nil {
+		return
+	}
+	t.sampler = metrics.NewSampler(cfg)
+	for _, key := range t.probeSeq {
+		t.registerProbeSeries(t.probes[key])
+	}
+}
+
+// registerProbeSeries adds one probe aggregate as a sampler source. Both
+// probe classes sample their last-written value: that is the live reading
+// for a gauge and the cumulative total for a counter (rates derive by
+// differencing adjacent points).
+func (t *Trace) registerProbeSeries(agg *probeAgg) {
+	kind, _, _ := probeKeyParts(agg.key)
+	mk := metrics.ProbeCounter
+	if kind.gauge() {
+		mk = metrics.ProbeGauge
+	}
+	t.sampler.Register(ProbeName(agg.key), mk, func() float64 { return float64(agg.last) })
+}
+
+// SampleFunc registers a custom series source sampled at every tick.
+// Call order must be deterministic — it is the export order. Nil-safe,
+// no-op without an enabled sampler.
+func (t *Trace) SampleFunc(name string, kind metrics.ProbeKind, fn func() float64) {
+	if t == nil || t.sampler == nil {
+		return
+	}
+	t.sampler.Register(name, kind, fn)
+}
+
+// AdvanceSampler catches the sampler up to ts without recording a probe —
+// platforms call it from Finalize hooks (or tests directly) so the series
+// extend to the end of the run even when the tail is probe-quiet. Nil-safe.
+func (t *Trace) AdvanceSampler(ts int64) {
+	if t == nil || t.sampler == nil {
+		return
+	}
+	t.sampler.Advance(ts)
+}
+
+// SeriesDumps exports the sampled series in registration order, labeled
+// with the trace name. Nil when no sampler is enabled or nothing ticked.
+func (t *Trace) SeriesDumps() []metrics.SeriesDump {
+	if t == nil || t.sampler == nil {
+		return nil
+	}
+	return t.sampler.Dump(t.name)
+}

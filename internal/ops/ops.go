@@ -1,0 +1,331 @@
+// Package ops embeds a live observability endpoint into benchmark and
+// simulation processes. The server exposes:
+//
+//	/metrics       Prometheus exposition text (probe counters/gauges)
+//	/vars          full JSON snapshot (probes, series, trace tail)
+//	/series        virtual-time series dump (JSON)
+//	/stream        server-sent events: one event per published snapshot
+//	/healthz       liveness (always 200)
+//	/readyz        readiness (200 once the final Done snapshot lands)
+//	/debug/pprof/  Go runtime profiles
+//
+// Determinism boundary: the simulation side never calls into this
+// package. Producers publish immutable Snapshot values via an atomic
+// pointer swap; handlers only ever read published snapshots, so wallclock
+// time — sanctioned in this package alone — cannot leak into simulation
+// inputs or outputs.
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"biza/internal/bench"
+	"biza/internal/metrics"
+)
+
+// Snapshot is one immutable published view of a running (or finished)
+// sweep. Producers build a fresh value per publish; handlers must not
+// mutate it.
+type Snapshot struct {
+	Seq        uint64 `json:"seq"`                  // publish sequence number (assigned by Publish)
+	Done       bool   `json:"done"`                 // final snapshot of the sweep
+	Experiment string `json:"experiment,omitempty"` // experiment of the most recent point
+	Point      string `json:"point,omitempty"`      // most recent completed config point
+	PointsDone int    `json:"points_done"`          // config points completed so far
+	Failed     int    `json:"failed"`               // experiments that ended in error (final snapshot)
+
+	VirtualNanos int64                `json:"virtual_ns"`           // simulated time covered
+	Probes       []metrics.ProbeStat  `json:"probes,omitempty"`     // cumulative probe readings
+	Series       []metrics.SeriesDump `json:"series,omitempty"`     // virtual-time series
+	TraceTail    []string             `json:"trace_tail,omitempty"` // last trace records, JSONL
+}
+
+// tailLines bounds the trace tail carried per snapshot.
+const tailLines = 64
+
+// Server publishes snapshots over HTTP. The zero value is not usable;
+// call New.
+type Server struct {
+	mux  *http.ServeMux
+	snap atomic.Pointer[Snapshot]
+
+	mu     sync.Mutex
+	change chan struct{} // closed and replaced on every Publish
+	httpd  *http.Server
+	ln     net.Listener
+}
+
+// New returns a server with an empty (not ready) snapshot published.
+func New() *Server {
+	s := &Server{mux: http.NewServeMux(), change: make(chan struct{})}
+	s.snap.Store(&Snapshot{})
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/vars", s.handleVars)
+	s.mux.HandleFunc("/series", s.handleSeries)
+	s.mux.HandleFunc("/stream", s.handleStream)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/readyz", s.handleReady)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler exposes the endpoint mux for embedding into an existing server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Snapshot returns the most recently published snapshot (never nil).
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Publish swaps in a new snapshot and wakes every /stream subscriber.
+// The snapshot's Seq is assigned here; everything else is the caller's.
+func (s *Server) Publish(snap Snapshot) {
+	s.mu.Lock()
+	snap.Seq = s.snap.Load().Seq + 1
+	s.snap.Store(&snap)
+	close(s.change)
+	s.change = make(chan struct{})
+	s.mu.Unlock()
+}
+
+// changed returns a channel that closes at the next Publish.
+func (s *Server) changed() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.change
+}
+
+// Start listens on addr ("host:port"; port 0 picks a free one) and serves
+// in a background goroutine. The returned address is the bound one.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	httpd := &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	s.mu.Lock()
+	s.httpd, s.ln = httpd, ln
+	s.mu.Unlock()
+	go httpd.Serve(ln) // returns ErrServerClosed on Close; nothing to report
+	return ln.Addr(), nil
+}
+
+// Close stops a server previously started with Start.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	httpd := s.httpd
+	s.mu.Unlock()
+	if httpd == nil {
+		return nil
+	}
+	return httpd.Close()
+}
+
+// Attach arms the runner so every completed config point publishes a
+// cumulative snapshot: probes merge, series and trace tails accumulate.
+// Call Finish with the sweep's report afterwards to publish the final
+// Done snapshot (which flips /readyz to 200).
+func (s *Server) Attach(rn *bench.Runner) {
+	var mu sync.Mutex
+	var points int
+	var probes []metrics.ProbeStat
+	var series []metrics.SeriesDump
+	var tail []string
+	rn.Observer = func(experiment, point string, run *bench.Run) {
+		mu.Lock()
+		defer mu.Unlock()
+		points++
+		for _, tr := range run.Traces() {
+			probes = metrics.MergeProbes(probes, tr.ProbeStats())
+			series = append(series, tr.SeriesDumps()...)
+			tail = append(tail, tr.TailJSONL(8)...)
+		}
+		if n := len(tail); n > tailLines {
+			tail = append(tail[:0:0], tail[n-tailLines:]...)
+		}
+		s.Publish(Snapshot{
+			Experiment: experiment,
+			Point:      point,
+			PointsDone: points,
+			Probes:     append([]metrics.ProbeStat(nil), probes...),
+			Series:     append([]metrics.SeriesDump(nil), series...),
+			TraceTail:  append([]string(nil), tail...),
+		})
+	}
+}
+
+// Finish publishes the final snapshot of a completed sweep, rebuilt from
+// the report itself (canonical order, independent of live publish
+// interleaving), and marks the server ready.
+func (s *Server) Finish(rep *bench.Report) {
+	total := rep.Stats()
+	snap := Snapshot{
+		Done:         true,
+		Failed:       len(rep.Failed()),
+		VirtualNanos: total.VirtualNanos,
+		Probes:       total.Probes,
+	}
+	for i := range rep.Results {
+		snap.Series = append(snap.Series, rep.Results[i].Series...)
+	}
+	snap.PointsDone = s.Snapshot().PointsDone
+	for _, tr := range rep.Traces {
+		snap.TraceTail = append(snap.TraceTail, tr.TailJSONL(8)...)
+	}
+	if n := len(snap.TraceTail); n > tailLines {
+		snap.TraceTail = snap.TraceTail[n-tailLines:]
+	}
+	s.Publish(snap)
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.Snapshot().Done {
+		http.Error(w, "sweep in progress", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Snapshot())
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	snap := s.Snapshot()
+	series := snap.Series
+	if series == nil {
+		series = []metrics.SeriesDump{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(series)
+}
+
+// handleMetrics renders the snapshot in Prometheus exposition text format
+// (version 0.0.4). Probe names carry "/" and device suffixes, so they map
+// to a name label on two fixed families rather than per-probe families.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP biza_sweep_done Whether the benchmark sweep has completed.\n")
+	fmt.Fprintf(&b, "# TYPE biza_sweep_done gauge\n")
+	fmt.Fprintf(&b, "biza_sweep_done %d\n", boolToInt(snap.Done))
+	fmt.Fprintf(&b, "# HELP biza_points_done Config points completed so far.\n")
+	fmt.Fprintf(&b, "# TYPE biza_points_done counter\n")
+	fmt.Fprintf(&b, "biza_points_done %d\n", snap.PointsDone)
+	fmt.Fprintf(&b, "# HELP biza_virtual_seconds_total Simulated time covered by the sweep.\n")
+	fmt.Fprintf(&b, "# TYPE biza_virtual_seconds_total counter\n")
+	fmt.Fprintf(&b, "biza_virtual_seconds_total %g\n", float64(snap.VirtualNanos)/1e9)
+
+	probes := append([]metrics.ProbeStat(nil), snap.Probes...)
+	sort.Slice(probes, func(i, j int) bool { return probes[i].Name < probes[j].Name })
+	writeFamily(&b, "biza_probe_counter", "counter",
+		"Cumulative observability probe counters.", probes, metrics.ProbeCounter)
+	writeFamily(&b, "biza_probe_gauge", "gauge",
+		"Peak-tracking observability probe gauges.", probes, metrics.ProbeGauge)
+	w.Write([]byte(b.String()))
+}
+
+func writeFamily(b *strings.Builder, family, typ, help string, probes []metrics.ProbeStat, kind metrics.ProbeKind) {
+	wrote := false
+	for _, p := range probes {
+		if p.Kind != kind {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", family, help, family, typ)
+			wrote = true
+		}
+		fmt.Fprintf(b, "%s{name=\"%s\"} %g\n", family, escapeLabel(p.Name), p.Value)
+	}
+}
+
+// escapeLabel escapes a Prometheus label value per the exposition format:
+// backslash, newline, and double quote.
+func escapeLabel(v string) string {
+	return strings.NewReplacer("\\", "\\\\", "\n", "\\n", "\"", "\\\"").Replace(v)
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// streamView is the compact per-event payload of /stream: the snapshot
+// minus its bulky series points and full tail.
+type streamView struct {
+	Seq          uint64 `json:"seq"`
+	Done         bool   `json:"done"`
+	Experiment   string `json:"experiment,omitempty"`
+	Point        string `json:"point,omitempty"`
+	PointsDone   int    `json:"points_done"`
+	VirtualNanos int64  `json:"virtual_ns"`
+	Probes       int    `json:"probes"`
+	Series       int    `json:"series"`
+	LastRecord   string `json:"last_record,omitempty"`
+}
+
+// handleStream serves server-sent events: the current snapshot summary
+// immediately, then one event per Publish. The stream ends after the
+// final Done snapshot or when the client disconnects.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	var last uint64
+	sent := false
+	for {
+		ch := s.changed() // grab before reading so a racing Publish re-wakes us
+		snap := s.Snapshot()
+		if !sent || snap.Seq != last {
+			sent, last = true, snap.Seq
+			view := streamView{
+				Seq: snap.Seq, Done: snap.Done,
+				Experiment: snap.Experiment, Point: snap.Point,
+				PointsDone: snap.PointsDone, VirtualNanos: snap.VirtualNanos,
+				Probes: len(snap.Probes), Series: len(snap.Series),
+			}
+			if n := len(snap.TraceTail); n > 0 {
+				view.LastRecord = snap.TraceTail[n-1]
+			}
+			data, err := json.Marshal(view)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: snapshot\ndata: %s\n\n", data)
+			fl.Flush()
+			if snap.Done {
+				return
+			}
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ch:
+		}
+	}
+}

@@ -218,6 +218,9 @@ type vop struct {
 	data    []byte
 	cost    int64 // payload bytes (token-bucket and WFQ currency)
 	start   sim.Time
+	span    obs.SpanID // volume-layer span (0 when untraced)
+	gateAt  sim.Time   // when the op entered the token-bucket gate
+	admitAt sim.Time   // when the op entered the WFQ backlog
 	wdone   func(blockdev.WriteResult)
 	rdone   func(blockdev.ReadResult)
 	wfwd    func(blockdev.WriteResult)
@@ -239,6 +242,7 @@ func (m *Manager) getOp() *vop {
 func (m *Manager) putOp(op *vop) {
 	op.v, op.data = nil, nil
 	op.wdone, op.rdone = nil, nil
+	op.span = 0
 	m.opFree = append(m.opFree, op)
 }
 
@@ -324,6 +328,7 @@ func (v *Volume) Write(lba int64, nblocks int, data []byte, done func(blockdev.W
 	op.lba, op.nblocks, op.data = v.base+lba, nblocks, data
 	op.cost = int64(nblocks) * int64(m.bs)
 	op.start = m.eng.Now()
+	op.span = m.tr.SpanBegin(op.start, obs.LayerVolume, obs.OpWrite, v.id, -1, lba, int64(nblocks))
 	op.wdone = done
 	v.st.Writes++
 	v.submit(op)
@@ -345,6 +350,7 @@ func (v *Volume) Read(lba int64, nblocks int, done func(blockdev.ReadResult)) {
 	op.lba, op.nblocks, op.data = v.base+lba, nblocks, nil
 	op.cost = int64(nblocks) * int64(m.bs)
 	op.start = m.eng.Now()
+	op.span = m.tr.SpanBegin(op.start, obs.LayerVolume, obs.OpRead, v.id, -1, lba, int64(nblocks))
 	op.rdone = done
 	v.st.Reads++
 	v.submit(op)
@@ -412,6 +418,7 @@ func (v *Volume) admit(op *vop) {
 		v.ready = v.ready[:0]
 		v.readyHead = 0
 	}
+	op.admitAt = v.m.eng.Now()
 	v.ready = append(v.ready, op)
 	v.m.wfq.Push(v.id, op.cost)
 	v.m.dispatch()
@@ -452,6 +459,7 @@ func (v *Volume) gatePush(op *vop) {
 		v.gateHead = 0
 	}
 	v.gated = append(v.gated, op)
+	op.gateAt = v.m.eng.Now()
 	v.st.ThrottleStalls++
 	m := v.m
 	if m.tr != nil {
@@ -489,7 +497,11 @@ func (v *Volume) Fire(_, _ sim.Time) {
 		}
 		v.gated[v.gateHead] = nil
 		v.gateHead++
-		v.st.ThrottleNanos += v.m.eng.Now() - op.start
+		now := v.m.eng.Now()
+		v.st.ThrottleNanos += now - op.start
+		// The admission stall is a span stage: attribution charges it to
+		// "qos-stall" so throttled tenants can see their own backpressure.
+		v.m.tr.Mark(op.span, op.gateAt, now, obs.LayerVolume, obs.PhaseQoS, v.id, -1, -1)
 		v.admit(op)
 	}
 	v.armGate()
@@ -509,6 +521,11 @@ func (m *Manager) dispatch() {
 		v.ready[v.readyHead] = nil
 		v.readyHead++
 		m.inflight++
+		if now := m.eng.Now(); now > op.admitAt {
+			// Time spent backlogged in the fair queue or held by the
+			// in-flight window: the volume layer's "queue" stage.
+			m.tr.Mark(op.span, op.admitAt, now, obs.LayerVolume, obs.PhaseQueue, v.id, -1, -1)
+		}
 		m.issue(op)
 	}
 }
@@ -541,7 +558,9 @@ func (op *vop) account() (m *Manager, v *Volume) {
 
 func (op *vop) finishWrite(r blockdev.WriteResult) {
 	m, _ := op.account()
-	r.Latency = m.eng.Now() - op.start // end-to-end: includes QoS queueing
+	now := m.eng.Now()
+	r.Latency = now - op.start // end-to-end: includes QoS queueing
+	m.tr.SpanEnd(op.span, now, r.Err != nil)
 	done := op.wdone
 	m.putOp(op)
 	if done != nil {
@@ -554,7 +573,9 @@ func (op *vop) finishWrite(r blockdev.WriteResult) {
 
 func (op *vop) finishRead(r blockdev.ReadResult) {
 	m, _ := op.account()
-	r.Latency = m.eng.Now() - op.start
+	now := m.eng.Now()
+	r.Latency = now - op.start
+	m.tr.SpanEnd(op.span, now, r.Err != nil)
 	done := op.rdone
 	m.putOp(op)
 	if done != nil {

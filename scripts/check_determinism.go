@@ -7,8 +7,9 @@
 // first report exactly.
 //
 // Compared per result: experiment id, error, tables (cell for cell),
-// samples, histogram dumps, and observability probe readings; plus report
-// schema, seed, quick flag, and total virtual nanoseconds. Deliberately
+// samples, histogram dumps, virtual-time series (point for point), and
+// observability probe readings; plus report schema, seed, quick flag, and
+// total virtual nanoseconds. Deliberately
 // ignored: wall-clock accounting (stats.wall_ns, wall_ns) and the
 // parallel/shards provenance fields, which are the only values allowed to
 // differ between layouts.
@@ -23,6 +24,7 @@ import (
 	"reflect"
 
 	"biza/internal/bench"
+	"biza/internal/metrics"
 )
 
 func main() {
@@ -85,6 +87,7 @@ func diff(aPath string, a *bench.Report, bPath string, b *bench.Report) {
 		if !reflect.DeepEqual(ra.Histograms, rb.Histograms) {
 			fail("%s: experiment %s histograms differ from %s", bPath, id, aPath)
 		}
+		diffSeries(aPath, bPath, id, ra.Series, rb.Series)
 		if ra.Stats.VirtualNanos != rb.Stats.VirtualNanos {
 			fail("%s: experiment %s simulated %d virtual ns, %s simulated %d",
 				bPath, id, rb.Stats.VirtualNanos, aPath, ra.Stats.VirtualNanos)
@@ -92,6 +95,32 @@ func diff(aPath string, a *bench.Report, bPath string, b *bench.Report) {
 		if !reflect.DeepEqual(ra.Stats.Probes, rb.Stats.Probes) {
 			fail("%s: experiment %s probe readings differ from %s (%d vs %d probes)",
 				bPath, id, aPath, len(rb.Stats.Probes), len(ra.Stats.Probes))
+		}
+	}
+}
+
+// diffSeries compares the virtual-time series section, localizing a
+// mismatch to the first differing series and point.
+func diffSeries(aPath, bPath, id string, sa, sb []metrics.SeriesDump) {
+	if len(sa) != len(sb) {
+		fail("%s: experiment %s has %d series, %s has %d", bPath, id, len(sb), aPath, len(sa))
+	}
+	for i := range sa {
+		a, b := &sa[i], &sb[i]
+		if a.Trace != b.Trace || a.Name != b.Name || a.Kind != b.Kind || a.IntervalNs != b.IntervalNs {
+			fail("%s: experiment %s series %d is %s/%s(%s,%dns), %s has %s/%s(%s,%dns)",
+				bPath, id, i, b.Trace, b.Name, b.Kind, b.IntervalNs,
+				aPath, a.Trace, a.Name, a.Kind, a.IntervalNs)
+		}
+		if len(a.Points) != len(b.Points) {
+			fail("%s: series %s/%s has %d points, %s has %d",
+				bPath, a.Trace, a.Name, len(b.Points), aPath, len(a.Points))
+		}
+		for p := range a.Points {
+			if a.Points[p] != b.Points[p] {
+				fail("%s: series %s/%s point %d = %v, %s has %v",
+					bPath, a.Trace, a.Name, p, b.Points[p], aPath, a.Points[p])
+			}
 		}
 	}
 }
