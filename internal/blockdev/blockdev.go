@@ -7,6 +7,7 @@ package blockdev
 import (
 	"fmt"
 
+	"biza/internal/buf"
 	"biza/internal/metrics"
 	"biza/internal/sim"
 	"biza/internal/storerr"
@@ -39,6 +40,23 @@ type Device interface {
 	Read(lba int64, nblocks int, done func(ReadResult))
 	// Trim declares [lba, lba+nblocks) dead so lower layers can drop it.
 	Trim(lba int64, nblocks int)
+}
+
+// BufWriter is optionally implemented by engines whose write path takes
+// ownership of refcounted pooled payloads (internal/buf) instead of
+// copying caller bytes. Workload generators that find this interface
+// draw payload buffers from Pool and submit them with WriteBuf, making
+// the data path zero-copy end to end.
+type BufWriter interface {
+	// Pool returns the engine's unified buffer pool. Payloads passed to
+	// WriteBuf must be drawn from it.
+	Pool() *buf.Pool
+	// WriteBuf is Write for a refcounted payload of nblocks*BlockSize
+	// bytes: the call transfers one reference, which the engine releases
+	// once it — and every layer below it — is done with the bytes. The
+	// caller must not mutate the payload after submission unless it
+	// Retained its own reference and knows the lower layers have quiesced.
+	WriteBuf(lba int64, nblocks int, b *buf.Buf, done func(WriteResult))
 }
 
 // WriteAmper is implemented by devices and engines that can report

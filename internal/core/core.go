@@ -26,6 +26,7 @@ package core
 import (
 	"fmt"
 
+	"biza/internal/buf"
 	"biza/internal/cpumodel"
 	"biza/internal/erasure"
 	"biza/internal/ghostcache"
@@ -232,16 +233,21 @@ type Core struct {
 
 	tr *obs.Trace
 
-	// Hot-path free lists (see pool.go): single-goroutine recycling of
-	// parity scratch, OOB records, batch payloads, and batch records so
-	// steady-state stripe writes allocate nothing.
-	bufFree   [][]byte
-	oobFree   [][]byte
-	batchFree [][]byte
-	vecFree   [][][]byte
-	opsFree   [][]schedOp
-	abFree    []*appendBatch
+	// Unified buffer pool (see pool.go and internal/buf): block scratch,
+	// OOB records, and coalesced batch payloads all come from one
+	// size-class-segregated pool shared down the stack, so steady-state
+	// stripe writes allocate nothing. The remaining free lists recycle
+	// record slices that have no byte-pool equivalent.
+	pool    *buf.Pool
+	vecFree [][][]byte
+	opsFree [][]schedOp
+	abFree  []*appendBatch
 }
+
+// Pool returns the core's unified buffer pool. The stack layer publishes
+// its occupancy and copy counters as observability probes, and callers of
+// WriteBuf draw their payload buffers from it.
+func (c *Core) Pool() *buf.Pool { return c.pool }
 
 // SetTracer attaches an observability trace: array-level spans cover each
 // block-interface Write/Read end to end, and GC victim selections are
@@ -313,6 +319,7 @@ func New(queues []*nvme.Queue, cfg Config, acct *cpumodel.Accountant) (*Core, er
 		failed:     make([]bool, len(queues)),
 		dead:       make([]bool, len(queues)),
 		rebuilding: make([]bool, len(queues)),
+		pool:       buf.NewPool(),
 	}
 	c.reconstructs = make([]uint64, len(queues))
 	totalZRWA := uint64(base.ZRWABlocks) * uint64(base.BlockSize) * uint64(base.MaxOpenZones) * uint64(len(queues))

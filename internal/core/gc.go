@@ -178,7 +178,7 @@ func (c *Core) dissolveStripe(sn int64, done func()) {
 			return
 		}
 		c.gcMigrated += uint64(c.blockSize)
-		c.writeChunk(lbn, data, classGC, zns.TagGCData, func(error) {
+		c.writeChunk(lbn, data, nil, classGC, zns.TagGCData, func(error) {
 			finishOne(lbn)
 		})
 	}

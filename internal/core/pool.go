@@ -1,93 +1,53 @@
 package core
 
-// Hot-path buffer free lists. The simulation is single-goroutine, so plain
-// slices beat sync.Pool here (no per-P locking, no GC-cycle purging) while
-// keeping steady-state stripe writes allocation-free — enforced by the
-// AllocsPerRun gates in pool_test.go. Ownership discipline: a buffer
-// handed to the device layer may be recycled in the write-done callback,
-// because the ZNS model copies payload and OOB bytes into its own pooled
-// scratch at submission (setData/setOOB) or before completion
-// (storeDirect).
-
-// popBuf pops a pooled block-size buffer, or nil when the pool is empty.
-func (c *Core) popBuf() []byte {
-	if n := len(c.bufFree); n > 0 {
-		b := c.bufFree[n-1]
-		c.bufFree = c.bufFree[:n-1]
-		return b
-	}
-	return nil
-}
+// Hot-path buffer plumbing over the unified pool (internal/buf). Block
+// scratch, OOB records, and coalesced batch payloads all draw from one
+// size-class-segregated pool instead of the per-kind free lists of the
+// earlier performance pass; the pool counts hits, misses (the old silent
+// heap fallback, now observable as the pool_miss probe), and payload
+// copies. The simulation is single-goroutine, so no locking anywhere.
+//
+// Ownership discipline: a raw buffer handed to the device layer may be
+// recycled in the write-done callback, because the ZNS model copies
+// payload and OOB bytes into its own pooled scratch at submission
+// (setData/setOOB) or before completion (storeDirect). Refcounted
+// payloads (schedOp.own) skip that copy entirely: the device holds
+// references instead — see zones.go.
 
 // getBuf returns a zeroed block-size scratch buffer.
-func (c *Core) getBuf() []byte {
-	if b := c.popBuf(); b != nil {
-		clear(b)
-		return b
-	}
-	return make([]byte, c.blockSize)
-}
+func (c *Core) getBuf() []byte { return c.pool.AllocZero(c.blockSize) }
 
-// copyBuf returns a pooled block-size buffer holding a copy of src.
+// copyBuf returns a pooled block-size buffer holding a copy of src,
+// counted in the pool's copy stats.
 func (c *Core) copyBuf(src []byte) []byte {
-	b := c.popBuf()
-	if b == nil {
-		b = make([]byte, c.blockSize)
-	}
+	b := c.pool.Alloc(c.blockSize)
 	copy(b, src)
+	c.pool.NoteCopy(len(src))
 	return b
 }
 
-// putBuf recycles a block-size buffer; nil-safe, and tolerant of
-// foreign buffers (read results) as long as they hold a full block.
-func (c *Core) putBuf(b []byte) {
-	if b == nil || cap(b) < c.blockSize {
-		return
-	}
-	c.bufFree = append(c.bufFree, b[:c.blockSize])
-}
+// putBuf recycles a pool-allocated block-size buffer; nil-safe. Buffers
+// that did not come from Alloc go through donateBuf instead, so the
+// pool's outstanding-slab accounting stays balanced.
+func (c *Core) putBuf(b []byte) { c.pool.Free(b) }
+
+// donateBuf recycles a buffer the pool never handed out — device read
+// results, which the ZNS model allocates fresh — without touching the
+// outstanding-slab count.
+func (c *Core) donateBuf(b []byte) { c.pool.Donate(b) }
 
 // getOOB returns an oobLen record buffer; contents are overwritten by the
 // caller (encodeOOB fills every byte).
-func (c *Core) getOOB() []byte {
-	if n := len(c.oobFree); n > 0 {
-		b := c.oobFree[n-1]
-		c.oobFree = c.oobFree[:n-1]
-		return b
-	}
-	return make([]byte, oobLen)
-}
+func (c *Core) getOOB() []byte { return c.pool.Alloc(oobLen) }
 
 // putOOB recycles an OOB record; nil-safe.
-func (c *Core) putOOB(b []byte) {
-	if b == nil || cap(b) < oobLen {
-		return
-	}
-	c.oobFree = append(c.oobFree, b[:oobLen])
-}
+func (c *Core) putOOB(b []byte) { c.pool.Free(b) }
 
 // getBatch returns a zeroed n-byte coalesced-payload buffer.
-func (c *Core) getBatch(n int) []byte {
-	for i := len(c.batchFree) - 1; i >= 0; i-- {
-		if cap(c.batchFree[i]) >= n {
-			b := c.batchFree[i][:n]
-			last := len(c.batchFree) - 1
-			c.batchFree[i] = c.batchFree[last]
-			c.batchFree = c.batchFree[:last]
-			clear(b)
-			return b
-		}
-	}
-	return make([]byte, n)
-}
+func (c *Core) getBatch(n int) []byte { return c.pool.AllocZero(n) }
 
 // putBatch recycles a coalesced-payload buffer; nil-safe.
-func (c *Core) putBatch(b []byte) {
-	if b == nil {
-		return
-	}
-	c.batchFree = append(c.batchFree, b)
-}
+func (c *Core) putBatch(b []byte) { c.pool.Free(b) }
 
 // getVec returns an n-element nil-filled [][]byte (per-batch OOB vectors,
 // parity accumulators, old-parity scratch).

@@ -11,7 +11,8 @@ import (
 
 // TestPoolBufSemantics checks the buffer pool contracts the write path
 // relies on: getBuf returns zeroed memory after a dirty put, copyBuf
-// snapshots its source, and putBuf rejects short foreign buffers.
+// snapshots its source (and counts the copy), and foreign buffers go
+// through donateBuf without disturbing the outstanding-slab accounting.
 func TestPoolBufSemantics(t *testing.T) {
 	_, c, _ := newCore(t, nil)
 	b := c.getBuf()
@@ -29,14 +30,23 @@ func TestPoolBufSemantics(t *testing.T) {
 		}
 	}
 	src := pat(7, c.blockSize)
+	copies := c.pool.Stats().Copies
 	cp := c.copyBuf(src)
 	src[0] ^= 0xFF
 	if cp[0] == src[0] {
 		t.Fatal("copyBuf aliases its source")
 	}
-	c.putBuf(nil)                         // nil-safe
-	c.putBuf(make([]byte, c.blockSize/2)) // short foreign buffer: dropped
+	if got := c.pool.Stats().Copies; got != copies+1 {
+		t.Fatalf("copyBuf recorded %d copies, want %d", got, copies+1)
+	}
+	c.putBuf(nil)                            // nil-safe
+	c.donateBuf(make([]byte, c.blockSize/2)) // foreign buffer: no accounting
+	c.donateBuf(nil)                         // nil-safe
 	c.putBuf(cp)
+	c.putBuf(b2)
+	if live := c.pool.RawLive(); live != 0 {
+		t.Fatalf("raw slabs outstanding after balanced put cycle: %d", live)
+	}
 }
 
 // TestPoolVecDropsReferences: putVec must nil out elements so pooled

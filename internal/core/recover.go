@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"biza/internal/buf"
 	"biza/internal/cpumodel"
 	"biza/internal/erasure"
 	"biza/internal/ghostcache"
@@ -55,6 +56,7 @@ func Recover(queues []*nvme.Queue, cfg Config, acct *cpumodel.Accountant, done f
 		failed:     make([]bool, len(queues)),
 		dead:       make([]bool, len(queues)),
 		rebuilding: make([]bool, len(queues)),
+		pool:       buf.NewPool(),
 	}
 	c.reconstructs = make([]uint64, len(queues))
 	totalZRWA := uint64(base.ZRWABlocks) * uint64(base.BlockSize) * uint64(base.MaxOpenZones) * uint64(len(queues))

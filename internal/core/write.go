@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"biza/internal/blockdev"
+	"biza/internal/buf"
 	"biza/internal/cpumodel"
 	"biza/internal/erasure"
 	"biza/internal/obs"
@@ -56,8 +57,27 @@ func decodeOOB(b []byte) (kind byte, lbn, sn int64, seq uint64, idx int, ok bool
 // is one chunk; parity is computed per dynamically formed stripe, with
 // partial parity held and updated in place in the parity slot's ZRWA.
 func (c *Core) Write(lba int64, nblocks int, data []byte, done func(blockdev.WriteResult)) {
+	c.writeCommon(lba, nblocks, data, nil, done)
+}
+
+// WriteBuf is Write for refcounted payloads drawn from Pool(): b.Bytes()
+// must hold nblocks full blocks, and the call transfers exactly one
+// reference. Every layer below takes references instead of copying, so
+// the payload reaches the flash model's write buffer with zero copies.
+// The caller must not mutate the buffer after submission — the device may
+// read it until the last flash program retires, which is after the write
+// acknowledgment.
+func (c *Core) WriteBuf(lba int64, nblocks int, b *buf.Buf, done func(blockdev.WriteResult)) {
+	c.writeCommon(lba, nblocks, b.Bytes(), b, done)
+}
+
+// writeCommon is the shared §4.1 write path. own, if non-nil, carries one
+// transferred reference pinning data; each chunk takes a reference of its
+// own before the original is dropped.
+func (c *Core) writeCommon(lba int64, nblocks int, data []byte, own *buf.Buf, done func(blockdev.WriteResult)) {
 	start := c.eng.Now()
 	if nblocks <= 0 || lba < 0 || lba+int64(nblocks) > c.Blocks() {
+		buf.Release(own)
 		if done != nil {
 			c.eng.After(sim.Microsecond, func() {
 				done(blockdev.WriteResult{Err: blockdev.ErrOutOfRange, Latency: c.eng.Now() - start})
@@ -88,7 +108,8 @@ func (c *Core) Write(lba int64, nblocks int, data []byte, done func(blockdev.Wri
 		}
 		c.clock += uint64(bs)
 		class := c.classify(lbn)
-		c.writeChunk(lbn, payload, class, zns.TagUserData, func(err error) {
+		buf.Retain(own) // one reference per chunk, consumed by writeChunk
+		c.writeChunk(lbn, payload, own, class, zns.TagUserData, func(err error) {
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -98,19 +119,22 @@ func (c *Core) Write(lba int64, nblocks int, data []byte, done func(blockdev.Wri
 			}
 		})
 	}
+	buf.Release(own) // drop the caller's transferred reference
 }
 
 // writeChunk stores one chunk. If the current copy still sits inside its
 // zone's ZRWA window (and is not pinned by GC), it is updated in place —
 // the paper's endurance fast path. Otherwise a new slot is allocated from
 // the class's zone group and the chunk joins the class's open stripe.
-func (c *Core) writeChunk(lbn int64, payload []byte, class Class, tag zns.WriteTag, done func(error)) {
+// own, if non-nil, is one transferred reference pinning payload; every
+// path through the write flow consumes it exactly once.
+func (c *Core) writeChunk(lbn int64, payload []byte, own *buf.Buf, class Class, tag zns.WriteTag, done func(error)) {
 	if e, ok := c.bmt[lbn]; ok && !c.gcPinned[lbn] {
-		if c.tryInPlace(lbn, e, payload, class, tag, done) {
+		if c.tryInPlace(lbn, e, payload, own, class, tag, done) {
 			return
 		}
 	}
-	c.appendChunk(lbn, payload, class, tag, done)
+	c.appendChunk(lbn, payload, own, class, tag, done)
 }
 
 // tryInPlace updates a chunk and its stripe's parity inside their ZRWA
@@ -119,7 +143,7 @@ func (c *Core) writeChunk(lbn int64, payload []byte, class Class, tag zns.WriteT
 // either slot has been committed to flash. In-place read-modify-write of
 // a stripe's parity serializes per stripe (lost-delta and same-slot
 // reorder protection).
-func (c *Core) tryInPlace(lbn int64, e bmtEntry, payload []byte, class Class, tag zns.WriteTag, done func(error)) bool {
+func (c *Core) tryInPlace(lbn int64, e bmtEntry, payload []byte, own *buf.Buf, class Class, tag zns.WriteTag, done func(error)) bool {
 	if c.failed[e.pa.dev] {
 		return false // degraded member: append a fresh copy elsewhere
 	}
@@ -155,7 +179,9 @@ func (c *Core) tryInPlace(lbn int64, e bmtEntry, payload []byte, class Class, ta
 	}
 	if payload != nil {
 		if se.ipBusy {
-			se.ipq = append(se.ipq, func() { c.writeChunk(lbn, payload, class, tag, done) })
+			// The parked closure keeps the chunk's reference and re-transfers
+			// it when the queue drains.
+			se.ipq = append(se.ipq, func() { c.writeChunk(lbn, payload, own, class, tag, done) })
 			return true
 		}
 		se.ipBusy = true
@@ -209,7 +235,7 @@ func (c *Core) tryInPlace(lbn int64, e bmtEntry, payload []byte, class Class, ta
 	}
 	writeData := func() {
 		ds.submitChunk(zs, schedOp{
-			off: e.pa.off, inplace: true, reserved: true, data: payload,
+			off: e.pa.off, inplace: true, reserved: true, data: payload, own: own,
 			oob: c.encodeOOB(oobKindData, lbn, e.sn, seq, chunkIdx), tag: tag,
 			done: func(r zns.WriteResult) { finish(r.Err) },
 		})
@@ -223,9 +249,9 @@ func (c *Core) tryInPlace(lbn int64, e bmtEntry, payload []byte, class Class, ta
 		return true
 	}
 	// Parity deltas need the old chunk and the old parities — all buffered
-	// reads, since every slot is inside a ZRWA window. All scratch comes
-	// from the block pool; the read results (fresh copies from the device
-	// model) are recycled into it once folded.
+	// reads, since every slot is inside a ZRWA window. Scratch comes from
+	// the unified pool; the read results (fresh heap copies from the
+	// device model) are donated into it once folded.
 	var oldData []byte
 	var readErr error
 	oldParity := c.getVec(m)
@@ -240,13 +266,9 @@ func (c *Core) tryInPlace(lbn int64, e bmtEntry, payload []byte, class Class, ta
 			// folding unknown deltas would corrupt the surviving parity.
 			// Unwind the in-place attempt and re-home the chunk through
 			// the append path instead.
-			if oldData != nil {
-				c.putBuf(oldData)
-			}
+			c.donateBuf(oldData)
 			for r := 0; r < m; r++ {
-				if oldParity[r] != nil {
-					c.putBuf(oldParity[r])
-				}
+				c.donateBuf(oldParity[r])
 			}
 			c.putVec(oldParity)
 			c.unpin(e.pa)
@@ -255,27 +277,30 @@ func (c *Core) tryInPlace(lbn int64, e bmtEntry, payload []byte, class Class, ta
 			}
 			se.ipBusy = false
 			c.ipNext(se)
-			c.appendChunk(lbn, payload, class, tag, done)
+			c.appendChunk(lbn, payload, own, class, tag, done)
 			return
 		}
 		writeData()
-		var delta []byte
+		// Fused single-pass kernels: delta = old ^ new in one XOR, then each
+		// parity row reads old parity and writes new parity in one sweep
+		// (DeltaRow) — no intermediate copy of either operand.
+		delta := c.pool.Alloc(c.blockSize)
 		if oldData != nil {
-			delta = c.copyBuf(oldData)
-			c.putBuf(oldData)
+			erasure.XOR(delta, oldData, payload)
+			c.donateBuf(oldData)
 		} else {
-			delta = c.getBuf()
+			copy(delta, payload)
 		}
-		erasure.XORInto(delta, payload)
 		for r := 0; r < m; r++ {
 			var np []byte
 			if oldParity[r] != nil {
-				np = c.copyBuf(oldParity[r])
-				c.putBuf(oldParity[r])
+				np = c.pool.Alloc(c.blockSize)
+				c.coder.DeltaRow(r, chunkIdx, delta, oldParity[r], np)
+				c.donateBuf(oldParity[r])
 			} else {
 				np = c.getBuf()
+				erasure.MulXor(c.coder.Coeff(r, chunkIdx), delta, np)
 			}
-			erasure.MulXor(c.coder.Coeff(r, chunkIdx), delta, np)
 			c.acct.ChargeParity(cpumodel.CompBIZA, int64(c.blockSize))
 			writeParity(r, np)
 		}
@@ -327,15 +352,17 @@ func (c *Core) ipNext(se *smtEntry) {
 }
 
 // appendChunk allocates a fresh slot for the chunk, joins it to the open
-// stripe of its class, and updates the partial parity in place.
-func (c *Core) appendChunk(lbn int64, payload []byte, class Class, tag zns.WriteTag, done func(error)) {
+// stripe of its class, and updates the partial parity in place. own, if
+// non-nil, is one transferred reference pinning payload (parked closures
+// carry it along until the chunk dispatches).
+func (c *Core) appendChunk(lbn int64, payload []byte, own *buf.Buf, class Class, tag zns.WriteTag, done func(error)) {
 	// Free-zone cliff: park user work while GC needs headroom; GC's own
 	// migrations (classGC) bypass.
 	if class != classGC {
 		for _, ds := range c.devs {
 			if len(ds.freeZones) <= c.stallFloor() && ds.pickVictim() >= 0 {
 				ds.stalled = append(ds.stalled, func() {
-					c.appendChunk(lbn, payload, class, tag, done)
+					c.appendChunk(lbn, payload, own, class, tag, done)
 				})
 				c.maybeStartGC(ds)
 				return
@@ -349,7 +376,7 @@ func (c *Core) appendChunk(lbn int64, payload []byte, class Class, tag zns.Write
 			// Transient: open-zone slots exhausted while retired zones
 			// drain. Park and retry when a slot frees.
 			c.allocWaiters = append(c.allocWaiters, func() {
-				c.appendChunk(lbn, payload, class, tag, done)
+				c.appendChunk(lbn, payload, own, class, tag, done)
 			})
 			return
 		}
@@ -363,7 +390,7 @@ func (c *Core) appendChunk(lbn int64, payload []byte, class Class, tag zns.Write
 	zs, off, err := ds.alloc(class)
 	if err != nil {
 		c.allocWaiters = append(c.allocWaiters, func() {
-			c.appendChunk(lbn, payload, class, tag, done)
+			c.appendChunk(lbn, payload, own, class, tag, done)
 		})
 		return
 	}
@@ -396,7 +423,7 @@ func (c *Core) appendChunk(lbn int64, payload []byte, class Class, tag zns.Write
 		}
 	}
 	ds.submitChunk(zs, schedOp{
-		off: off, data: payload,
+		off: off, data: payload, own: own,
 		oob: c.encodeOOB(oobKindData, lbn, sn, seq, st.count), tag: tag,
 		done: func(r zns.WriteResult) {
 			se.pending--
@@ -496,13 +523,21 @@ func (c *Core) issueParity(st *openStripe, se *smtEntry, class Class, seq uint64
 	}
 	wasWritten := st.parityWritten
 	st.parityWritten = true
+	// A sealed stripe takes no further appends, so this is the final parity
+	// generation: move the accumulators into the dispatch instead of
+	// copying them (parityDone's retirement sweep skips the nil slots).
+	final := se.sealed
 	for r := 0; r < m; r++ {
 		ppa := st.parity[r]
 		pds := c.devs[ppa.dev]
 		pzs := pds.zones[ppa.zone]
 		var parityData []byte
 		if st.accs != nil {
-			parityData = c.copyBuf(st.accs[r])
+			if final {
+				parityData, st.accs[r] = st.accs[r], nil
+			} else {
+				parityData = c.copyBuf(st.accs[r])
+			}
 		}
 		c.parityBytes += uint64(c.blockSize)
 		inWindow := pzs != nil && !pzs.sealedF && ppa.off >= pzs.devWP(c.zrwaBlocks)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"biza/internal/buf"
 	"biza/internal/cpumodel"
 	"biza/internal/nvme"
 	"biza/internal/zns"
@@ -50,13 +51,17 @@ type schedOp struct {
 	// cannot slide past the slot while the read-modify-write is in flight.
 	reserved bool
 	data     []byte
-	// ownData marks payloads drawn from the core's block pool (parity
-	// copies); the dispatch-done callback recycles them. User payloads and
+	// ownData marks raw payloads drawn from the core's pool (parity
+	// accumulator copies/moves); the dispatch-done callback recycles them.
 	// GC reads stay caller-owned.
 	ownData bool
-	oob     []byte
-	tag     zns.WriteTag
-	done    func(zns.WriteResult)
+	// own carries one reference to a refcounted user payload (WriteBuf);
+	// data is a view into it. Dispatch hands the device a fresh reference
+	// and the done callback releases this one.
+	own  *buf.Buf
+	oob  []byte
+	tag  zns.WriteTag
+	done func(zns.WriteResult)
 }
 
 // appendBatch is a run of contiguous append chunks dispatched as one
@@ -370,7 +375,7 @@ func (ds *devState) dispatchInPlace(zs *zoneState, op schedOp) {
 		oob = ds.c.getVec(1)
 		oob[0] = op.oob
 	}
-	ds.q.Write(zs.id, op.off, 1, op.data, oob, op.tag, func(r zns.WriteResult) {
+	done := func(r zns.WriteResult) {
 		zs.inflight--
 		ds.c.acct.Charge(cpumodel.CompIO, cpumodel.CostCompletion)
 		zs.ipOffsets[op.off]--
@@ -381,15 +386,25 @@ func (ds *devState) dispatchInPlace(zs *zoneState, op schedOp) {
 		if op.done != nil {
 			op.done(r)
 		}
-		// The device copied payload and OOB at submission; recycle.
+		// The device copied OOB (and any raw payload) at submission, or
+		// holds references to a refcounted payload; recycle and release.
 		ds.c.putOOB(op.oob)
 		ds.c.putVec(oob)
 		if op.ownData {
 			ds.c.putBuf(op.data)
 		}
+		buf.Release(op.own)
 		ds.drain(zs)
 		ds.maybeFinish(zs)
-	})
+	}
+	if op.own != nil {
+		// Zero-copy: the driver gets a fresh reference; ours is released in
+		// the completion above.
+		op.own.Retain()
+		ds.q.WriteOwned(zs.id, op.off, 1, op.data, oob, op.tag, op.own, done)
+		return
+	}
+	ds.q.Write(zs.id, op.off, 1, op.data, oob, op.tag, done)
 }
 
 func (ds *devState) dispatchBatch(zs *zoneState, b appendBatch) {
@@ -400,6 +415,7 @@ func (ds *devState) dispatchBatch(zs *zoneState, b appendBatch) {
 	}
 	n := len(b.ops)
 	var data []byte
+	var batch []byte // gather buffer to recycle, nil when passing through
 	var oob [][]byte
 	hasData, hasOOB := false, false
 	for _, op := range b.ops {
@@ -412,10 +428,21 @@ func (ds *devState) dispatchBatch(zs *zoneState, b appendBatch) {
 	}
 	bs := ds.c.blockSize
 	if hasData {
-		data = ds.c.getBatch(n * bs)
-		for i, op := range b.ops {
-			if op.data != nil {
-				copy(data[i*bs:], op.data)
+		if n == 1 {
+			// Single-block batch: hand the payload straight through (the
+			// refcounted path below makes this fully zero-copy).
+			data = b.ops[0].data
+		} else {
+			// Merged command: gather-copy into one coalesced slab. The copy
+			// buys one device command for n blocks and is counted, so the
+			// merge-vs-copy tradeoff stays observable (payload_copy probe).
+			batch = ds.c.getBatch(n * bs)
+			data = batch
+			for i, op := range b.ops {
+				if op.data != nil {
+					copy(data[i*bs:], op.data)
+					ds.c.pool.NoteCopy(bs)
+				}
 			}
 		}
 	}
@@ -425,7 +452,7 @@ func (ds *devState) dispatchBatch(zs *zoneState, b appendBatch) {
 			oob[i] = op.oob
 		}
 	}
-	ds.q.Write(zs.id, b.off, n, data, oob, b.ops[0].tag, func(r zns.WriteResult) {
+	done := func(r zns.WriteResult) {
 		zs.inflight--
 		ds.c.acct.Charge(cpumodel.CompIO, cpumodel.CostCompletion)
 		for i := range b.ops {
@@ -437,20 +464,29 @@ func (ds *devState) dispatchBatch(zs *zoneState, b appendBatch) {
 				op.done(r)
 			}
 		}
-		// The device copied payload and OOB at submission; recycle the
-		// coalesced buffer, the OOB records, and the batch's op slice.
+		// The device copied payload and OOB at submission (or holds its
+		// own references); recycle the gather buffer, the OOB records,
+		// owned payloads, and the batch's op slice.
 		for i := range b.ops {
 			ds.c.putOOB(b.ops[i].oob)
 			if b.ops[i].ownData {
 				ds.c.putBuf(b.ops[i].data)
 			}
+			buf.Release(b.ops[i].own)
 		}
-		ds.c.putBatch(data)
+		ds.c.putBatch(batch)
 		ds.c.putVec(oob)
 		ds.c.putOps(b.ops)
 		ds.drain(zs)
 		ds.maybeFinish(zs)
-	})
+	}
+	if n == 1 && b.ops[0].own != nil {
+		own := b.ops[0].own
+		own.Retain() // fresh reference for the driver; ours releases in done
+		ds.q.WriteOwned(zs.id, b.off, 1, data, oob, b.ops[0].tag, own, done)
+		return
+	}
+	ds.q.Write(zs.id, b.off, n, data, oob, b.ops[0].tag, done)
 }
 
 // markDone advances the completed prefix over contiguous finished appends.

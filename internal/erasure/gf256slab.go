@@ -1,0 +1,179 @@
+package erasure
+
+import "unsafe"
+
+// Cache-line slab views: the wide kernels process 64 bytes (eight uint64
+// words) per unrolled iteration by reinterpreting 8-byte-aligned []byte
+// operands as []uint64 via unsafe.Slice. This removes the per-word
+// bounds checks and load/store byte shuffling of the portable
+// encoding/binary codec and lets the compiler keep the eight lanes in
+// registers.
+//
+// Endianness: every kernel applies a per-byte-lane transform (XOR, or a
+// nibble-table product) and loads and stores through the same native
+// word view, so lane order cancels exactly as it does for the
+// little-endian codec — the slab path is endian-agnostic.
+//
+// Buffers that are too short or not 8-byte aligned (sub-slice views at
+// odd offsets) take the portable fallback loops in gf256wide.go, and the
+// slab loops themselves delegate their <64-byte remainder to scalar
+// tails — "unaligned lengths exercising the slab edges" is a tested
+// contract, not an accident.
+
+// slabMin is the shortest operand worth the alignment checks.
+const slabMin = 64
+
+// aligned8 reports whether s starts on an 8-byte boundary.
+func aligned8(s []byte) bool {
+	return uintptr(unsafe.Pointer(unsafe.SliceData(s)))&7 == 0
+}
+
+// words reinterprets the first n words of s as []uint64. Caller must
+// have checked alignment and len(s) >= 8n.
+func words(s []byte, n int) []uint64 {
+	return unsafe.Slice((*uint64)(unsafe.Pointer(unsafe.SliceData(s))), n)
+}
+
+// xorIntoSlab is dst ^= src over full cache lines; returns bytes done.
+func xorIntoSlab(dst, src []byte) int {
+	w := len(src) >> 3
+	sw, dw := words(src, w), words(dst, w)
+	i := 0
+	for ; i+8 <= w; i += 8 {
+		dw[i] ^= sw[i]
+		dw[i+1] ^= sw[i+1]
+		dw[i+2] ^= sw[i+2]
+		dw[i+3] ^= sw[i+3]
+		dw[i+4] ^= sw[i+4]
+		dw[i+5] ^= sw[i+5]
+		dw[i+6] ^= sw[i+6]
+		dw[i+7] ^= sw[i+7]
+	}
+	for ; i < w; i++ {
+		dw[i] ^= sw[i]
+	}
+	return w << 3
+}
+
+// xorSlab is dst = a ^ b over full cache lines; returns bytes done.
+func xorSlab(dst, a, b []byte) int {
+	w := len(a) >> 3
+	aw, bw, dw := words(a, w), words(b, w), words(dst, w)
+	i := 0
+	for ; i+8 <= w; i += 8 {
+		dw[i] = aw[i] ^ bw[i]
+		dw[i+1] = aw[i+1] ^ bw[i+1]
+		dw[i+2] = aw[i+2] ^ bw[i+2]
+		dw[i+3] = aw[i+3] ^ bw[i+3]
+		dw[i+4] = aw[i+4] ^ bw[i+4]
+		dw[i+5] = aw[i+5] ^ bw[i+5]
+		dw[i+6] = aw[i+6] ^ bw[i+6]
+		dw[i+7] = aw[i+7] ^ bw[i+7]
+	}
+	for ; i < w; i++ {
+		dw[i] = aw[i] ^ bw[i]
+	}
+	return w << 3
+}
+
+// mulXorSlab is dst ^= c*src over full cache lines; returns bytes done.
+func mulXorSlab(t *mulTable, dst, src []byte) int {
+	w := len(src) >> 3
+	sw, dw := words(src, w), words(dst, w)
+	i := 0
+	for ; i+8 <= w; i += 8 {
+		dw[i] ^= t.mulWord(sw[i])
+		dw[i+1] ^= t.mulWord(sw[i+1])
+		dw[i+2] ^= t.mulWord(sw[i+2])
+		dw[i+3] ^= t.mulWord(sw[i+3])
+		dw[i+4] ^= t.mulWord(sw[i+4])
+		dw[i+5] ^= t.mulWord(sw[i+5])
+		dw[i+6] ^= t.mulWord(sw[i+6])
+		dw[i+7] ^= t.mulWord(sw[i+7])
+	}
+	for ; i < w; i++ {
+		dw[i] ^= t.mulWord(sw[i])
+	}
+	return w << 3
+}
+
+// mulSetSlab is dst = c*src over full cache lines; returns bytes done.
+func mulSetSlab(t *mulTable, dst, src []byte) int {
+	w := len(src) >> 3
+	sw, dw := words(src, w), words(dst, w)
+	i := 0
+	for ; i+8 <= w; i += 8 {
+		dw[i] = t.mulWord(sw[i])
+		dw[i+1] = t.mulWord(sw[i+1])
+		dw[i+2] = t.mulWord(sw[i+2])
+		dw[i+3] = t.mulWord(sw[i+3])
+		dw[i+4] = t.mulWord(sw[i+4])
+		dw[i+5] = t.mulWord(sw[i+5])
+		dw[i+6] = t.mulWord(sw[i+6])
+		dw[i+7] = t.mulWord(sw[i+7])
+	}
+	for ; i < w; i++ {
+		dw[i] = t.mulWord(sw[i])
+	}
+	return w << 3
+}
+
+// mulXorIntoSlab is the fused RMW delta kernel dst = base ^ c*src over
+// full cache lines; returns bytes done.
+func mulXorIntoSlab(t *mulTable, dst, base, src []byte) int {
+	w := len(src) >> 3
+	sw, bw, dw := words(src, w), words(base, w), words(dst, w)
+	i := 0
+	for ; i+8 <= w; i += 8 {
+		dw[i] = bw[i] ^ t.mulWord(sw[i])
+		dw[i+1] = bw[i+1] ^ t.mulWord(sw[i+1])
+		dw[i+2] = bw[i+2] ^ t.mulWord(sw[i+2])
+		dw[i+3] = bw[i+3] ^ t.mulWord(sw[i+3])
+		dw[i+4] = bw[i+4] ^ t.mulWord(sw[i+4])
+		dw[i+5] = bw[i+5] ^ t.mulWord(sw[i+5])
+		dw[i+6] = bw[i+6] ^ t.mulWord(sw[i+6])
+		dw[i+7] = bw[i+7] ^ t.mulWord(sw[i+7])
+	}
+	for ; i < w; i++ {
+		dw[i] = bw[i] ^ t.mulWord(sw[i])
+	}
+	return w << 3
+}
+
+// xorSet4Slab is p = d0^d1^d2^d3 (optionally ^= into p) over full cache
+// lines; returns bytes done.
+func xorSet4Slab(d0, d1, d2, d3, p []byte, acc bool) int {
+	w := len(p) >> 3
+	w0, w1, w2, w3, pw := words(d0, w), words(d1, w), words(d2, w), words(d3, w), words(p, w)
+	i := 0
+	if acc {
+		for ; i+8 <= w; i += 8 {
+			pw[i] ^= w0[i] ^ w1[i] ^ w2[i] ^ w3[i]
+			pw[i+1] ^= w0[i+1] ^ w1[i+1] ^ w2[i+1] ^ w3[i+1]
+			pw[i+2] ^= w0[i+2] ^ w1[i+2] ^ w2[i+2] ^ w3[i+2]
+			pw[i+3] ^= w0[i+3] ^ w1[i+3] ^ w2[i+3] ^ w3[i+3]
+			pw[i+4] ^= w0[i+4] ^ w1[i+4] ^ w2[i+4] ^ w3[i+4]
+			pw[i+5] ^= w0[i+5] ^ w1[i+5] ^ w2[i+5] ^ w3[i+5]
+			pw[i+6] ^= w0[i+6] ^ w1[i+6] ^ w2[i+6] ^ w3[i+6]
+			pw[i+7] ^= w0[i+7] ^ w1[i+7] ^ w2[i+7] ^ w3[i+7]
+		}
+		for ; i < w; i++ {
+			pw[i] ^= w0[i] ^ w1[i] ^ w2[i] ^ w3[i]
+		}
+	} else {
+		for ; i+8 <= w; i += 8 {
+			pw[i] = w0[i] ^ w1[i] ^ w2[i] ^ w3[i]
+			pw[i+1] = w0[i+1] ^ w1[i+1] ^ w2[i+1] ^ w3[i+1]
+			pw[i+2] = w0[i+2] ^ w1[i+2] ^ w2[i+2] ^ w3[i+2]
+			pw[i+3] = w0[i+3] ^ w1[i+3] ^ w2[i+3] ^ w3[i+3]
+			pw[i+4] = w0[i+4] ^ w1[i+4] ^ w2[i+4] ^ w3[i+4]
+			pw[i+5] = w0[i+5] ^ w1[i+5] ^ w2[i+5] ^ w3[i+5]
+			pw[i+6] = w0[i+6] ^ w1[i+6] ^ w2[i+6] ^ w3[i+6]
+			pw[i+7] = w0[i+7] ^ w1[i+7] ^ w2[i+7] ^ w3[i+7]
+		}
+		for ; i < w; i++ {
+			pw[i] = w0[i] ^ w1[i] ^ w2[i] ^ w3[i]
+		}
+	}
+	return w << 3
+}

@@ -52,8 +52,9 @@ func (t *mulTable) mulWord(s uint64) uint64 {
 }
 
 // mulSliceXor computes dst[i] ^= c * src[i] for all i — the hot
-// multiply-accumulate of Encode/UpdateParity/Reconstruct — 8 bytes per
-// step with a scalar tail for unaligned lengths.
+// multiply-accumulate of Encode/Delta/Reconstruct — 64 bytes per
+// iteration on aligned operands (see gf256slab.go), 8 bytes per step
+// otherwise, with a scalar tail for unaligned lengths.
 func mulSliceXor(c byte, src, dst []byte) {
 	switch c {
 	case 0:
@@ -63,15 +64,50 @@ func mulSliceXor(c byte, src, dst []byte) {
 		return
 	}
 	t := &mulTabs[c]
-	n := len(src) &^ 7
-	for i := 0; i < n; i += 8 {
-		s := binary.LittleEndian.Uint64(src[i:])
-		d := binary.LittleEndian.Uint64(dst[i:])
-		binary.LittleEndian.PutUint64(dst[i:], d^t.mulWord(s))
+	i := 0
+	if len(src) >= slabMin && aligned8(src) && aligned8(dst) {
+		i = mulXorSlab(t, dst, src)
+	} else {
+		n := len(src) &^ 7
+		for ; i < n; i += 8 {
+			s := binary.LittleEndian.Uint64(src[i:])
+			d := binary.LittleEndian.Uint64(dst[i:])
+			binary.LittleEndian.PutUint64(dst[i:], d^t.mulWord(s))
+		}
 	}
-	for i := n; i < len(src); i++ {
+	for ; i < len(src); i++ {
 		s := src[i]
 		dst[i] ^= t.lo[s&15] ^ t.hi[s>>4]
+	}
+}
+
+// mulSliceXorInto is the fused RMW delta kernel: dst[i] = base[i] ^
+// c*src[i] in one pass, so an in-place parity update reads old parity
+// and writes new parity without an intermediate copy.
+func mulSliceXorInto(c byte, src, base, dst []byte) {
+	switch c {
+	case 0:
+		copy(dst, base[:len(src)])
+		return
+	case 1:
+		xorWide(dst, base, src)
+		return
+	}
+	t := &mulTabs[c]
+	i := 0
+	if len(src) >= slabMin && aligned8(src) && aligned8(base) && aligned8(dst) {
+		i = mulXorIntoSlab(t, dst, base, src)
+	} else {
+		n := len(src) &^ 7
+		for ; i < n; i += 8 {
+			s := binary.LittleEndian.Uint64(src[i:])
+			b := binary.LittleEndian.Uint64(base[i:])
+			binary.LittleEndian.PutUint64(dst[i:], b^t.mulWord(s))
+		}
+	}
+	for ; i < len(src); i++ {
+		s := src[i]
+		dst[i] = base[i] ^ t.lo[s&15] ^ t.hi[s>>4]
 	}
 }
 
@@ -87,37 +123,54 @@ func mulSliceSet(c byte, src, dst []byte) {
 		return
 	}
 	t := &mulTabs[c]
-	n := len(src) &^ 7
-	for i := 0; i < n; i += 8 {
-		s := binary.LittleEndian.Uint64(src[i:])
-		binary.LittleEndian.PutUint64(dst[i:], t.mulWord(s))
+	i := 0
+	if len(src) >= slabMin && aligned8(src) && aligned8(dst) {
+		i = mulSetSlab(t, dst, src)
+	} else {
+		n := len(src) &^ 7
+		for ; i < n; i += 8 {
+			s := binary.LittleEndian.Uint64(src[i:])
+			binary.LittleEndian.PutUint64(dst[i:], t.mulWord(s))
+		}
 	}
-	for i := n; i < len(src); i++ {
+	for ; i < len(src); i++ {
 		s := src[i]
 		dst[i] = t.lo[s&15] ^ t.hi[s>>4]
 	}
 }
 
-// xorIntoWide accumulates src into dst (dst ^= src) 8 bytes per step.
+// xorIntoWide accumulates src into dst (dst ^= src): 64 bytes per
+// iteration aligned, 8 bytes per step otherwise.
 func xorIntoWide(dst, src []byte) {
-	n := len(src) &^ 7
-	for i := 0; i < n; i += 8 {
-		binary.LittleEndian.PutUint64(dst[i:],
-			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	i := 0
+	if len(src) >= slabMin && aligned8(src) && aligned8(dst) {
+		i = xorIntoSlab(dst, src)
+	} else {
+		n := len(src) &^ 7
+		for ; i < n; i += 8 {
+			binary.LittleEndian.PutUint64(dst[i:],
+				binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+		}
 	}
-	for i := n; i < len(src); i++ {
+	for ; i < len(src); i++ {
 		dst[i] ^= src[i]
 	}
 }
 
-// xorWide computes dst = a ^ b elementwise, 8 bytes per step.
+// xorWide computes dst = a ^ b elementwise: 64 bytes per iteration
+// aligned, 8 bytes per step otherwise.
 func xorWide(dst, a, b []byte) {
-	n := len(a) &^ 7
-	for i := 0; i < n; i += 8 {
-		binary.LittleEndian.PutUint64(dst[i:],
-			binary.LittleEndian.Uint64(a[i:])^binary.LittleEndian.Uint64(b[i:]))
+	i := 0
+	if len(a) >= slabMin && aligned8(a) && aligned8(b) && aligned8(dst) {
+		i = xorSlab(dst, a, b)
+	} else {
+		n := len(a) &^ 7
+		for ; i < n; i += 8 {
+			binary.LittleEndian.PutUint64(dst[i:],
+				binary.LittleEndian.Uint64(a[i:])^binary.LittleEndian.Uint64(b[i:]))
+		}
 	}
-	for i := n; i < len(a); i++ {
+	for ; i < len(a); i++ {
 		dst[i] = a[i] ^ b[i]
 	}
 }

@@ -162,6 +162,8 @@ func (c *Coder) encode3(data [][]byte, p0, p1, p2 []byte) {
 // shard update: given old and new contents of data shard idx, it XORs the
 // appropriate multiple of (old ^ new) into each parity shard. This is the
 // partial-parity primitive the AFA engines use (RAID 5: parity ^= old^new).
+// Callers on an allocation-free path compute the delta into their own
+// buffer and use Delta directly.
 func (c *Coder) UpdateParity(idx int, oldData, newData []byte, parity [][]byte) error {
 	if idx < 0 || idx >= c.k {
 		return fmt.Errorf("erasure: shard index %d out of range", idx)
@@ -171,6 +173,17 @@ func (c *Coder) UpdateParity(idx int, oldData, newData []byte, parity [][]byte) 
 	}
 	delta := make([]byte, len(oldData))
 	xorWide(delta, oldData, newData)
+	return c.Delta(idx, delta, parity)
+}
+
+// Delta is the parity-delta fast path for in-place RMW: given the XOR
+// difference of data shard idx (delta = old ^ new), it folds
+// Coeff(r, idx)*delta into each parity shard — partial-stripe updates
+// touch only the delta instead of re-encoding the stripe. Allocation-free.
+func (c *Coder) Delta(idx int, delta []byte, parity [][]byte) error {
+	if idx < 0 || idx >= c.k {
+		return fmt.Errorf("erasure: shard index %d out of range", idx)
+	}
 	for r := 0; r < c.m; r++ {
 		if len(parity[r]) != len(delta) {
 			return errors.New("erasure: parity shard length mismatch")
@@ -178,6 +191,20 @@ func (c *Coder) UpdateParity(idx int, oldData, newData []byte, parity [][]byte) 
 		mulSliceXor(c.parityRows[r][idx], delta, parity[r])
 	}
 	return nil
+}
+
+// DeltaRow is Delta for a single parity row r, fused: newParity =
+// oldParity ^ Coeff(r, idx)*delta in one pass, leaving oldParity intact.
+// Engines use it when the pre-update parity must stay live (an in-flight
+// read of the old stripe) while the updated copy is produced.
+func (c *Coder) DeltaRow(r, idx int, delta, oldParity, newParity []byte) {
+	if r < 0 || r >= c.m || idx < 0 || idx >= c.k {
+		panic("erasure: DeltaRow index out of range")
+	}
+	if len(oldParity) != len(delta) || len(newParity) != len(delta) {
+		panic("erasure: DeltaRow length mismatch")
+	}
+	mulSliceXorInto(c.parityRows[r][idx], delta, oldParity, newParity)
 }
 
 // Reconstruct fills in missing shards. shards holds k data shards followed
@@ -390,4 +417,14 @@ func MulXor(coeff byte, src, dst []byte) {
 		panic("erasure: MulXor length mismatch")
 	}
 	mulSliceXor(coeff, src, dst)
+}
+
+// MulXorInto computes dst = base ^ coeff*src in one fused pass, the
+// read-modify-write shape of a parity delta application that must not
+// clobber base.
+func MulXorInto(coeff byte, src, base, dst []byte) {
+	if len(src) != len(base) || len(src) != len(dst) {
+		panic("erasure: MulXorInto length mismatch")
+	}
+	mulSliceXorInto(coeff, src, base, dst)
 }

@@ -14,6 +14,7 @@ package nvme
 import (
 	"errors"
 
+	"biza/internal/buf"
 	"biza/internal/fault"
 	"biza/internal/obs"
 	"biza/internal/sim"
@@ -137,6 +138,7 @@ type qop struct {
 	nblocks int
 	data    []byte
 	oob     [][]byte
+	own     *buf.Buf // transferred reference pinning data (WriteOwned)
 	tag     zns.WriteTag
 	span    obs.SpanID
 	start   sim.Time
@@ -176,7 +178,8 @@ func (q *Queue) getOp() *qop {
 }
 
 func (q *Queue) putOp(op *qop) {
-	op.data, op.oob = nil, nil
+	buf.Release(op.own)
+	op.data, op.oob, op.own = nil, nil, nil
 	op.attempt, op.delayed = 0, false
 	op.wdone, op.rdone, op.adone, op.edone = nil, nil, nil, nil
 	q.opFree = append(q.opFree, op)
@@ -261,7 +264,14 @@ func (op *qop) Fire(_, _ sim.Time) {
 	}
 	switch op.kind {
 	case opWrite:
-		q.dev.Write(op.z, op.lba, op.nblocks, op.data, op.oob, op.tag, op.wfwd)
+		if op.own != nil {
+			// The record keeps its own reference across retries; each
+			// delivery transfers a fresh one to the device.
+			op.own.Retain()
+			q.dev.WriteOwned(op.z, op.lba, op.nblocks, op.data, op.oob, op.tag, op.own, op.wfwd)
+		} else {
+			q.dev.Write(op.z, op.lba, op.nblocks, op.data, op.oob, op.tag, op.wfwd)
+		}
 	case opRead:
 		q.dev.Read(op.z, op.lba, op.nblocks, op.rfwd)
 	case opAppend:
@@ -430,9 +440,18 @@ func (q *Queue) deliverAt(z int, ordered bool) sim.Time {
 
 // Write submits a zone write through the driver stack.
 func (q *Queue) Write(z int, lba int64, nblocks int, data []byte, oob [][]byte, tag zns.WriteTag, done func(zns.WriteResult)) {
+	q.WriteOwned(z, lba, nblocks, data, oob, tag, nil, done)
+}
+
+// WriteOwned is Write for refcounted payloads: data must be a view into
+// own, and the call transfers exactly one reference, released when the
+// command leaves the driver (completion, drop on a killed queue, or
+// exhausted retries). The device takes further references of its own, so
+// the payload travels to flash without a copy.
+func (q *Queue) WriteOwned(z int, lba int64, nblocks int, data []byte, oob [][]byte, tag zns.WriteTag, own *buf.Buf, done func(zns.WriteResult)) {
 	op := q.getOp()
 	op.kind, op.z, op.lba, op.nblocks = opWrite, z, lba, nblocks
-	op.data, op.oob, op.tag, op.wdone = data, oob, tag, done
+	op.data, op.oob, op.own, op.tag, op.wdone = data, oob, own, tag, done
 	op.start = q.eng.Now()
 	op.at = q.deliverAt(z, true)
 	if q.tr != nil {

@@ -342,12 +342,25 @@ const (
 	// ProbeTrimDropped: blocks whose trims a stack without a discard path
 	// silently dropped (counter; see stack.Platform.TrimDrops).
 	ProbeTrimDropped
+	// ProbePoolMiss: buffer-pool requests that heap-allocated because no
+	// recycled slab of the size class was available (counter; dev =
+	// platform's first member, 0 aux). A cold pool misses once per slab;
+	// sustained growth means the working set outruns recycling.
+	ProbePoolMiss
+	// ProbePoolLive: refcounted buffers held by the data path at
+	// finalize (gauge) — pool occupancy; nonzero after drain is a leak.
+	ProbePoolLive
+	// ProbePayloadCopy: payload copies performed between the workload
+	// generator and the flash model (counter) — the zero-copy path keeps
+	// this flat during steady-state stripe writes.
+	ProbePayloadCopy
 
 	numProbeKinds // sentinel for exhaustiveness tests; keep last
 )
 
 func (p ProbeKind) gauge() bool {
-	return p == ProbeQueueDepth || p == ProbeOpenZones || p == ProbeTenantQD
+	return p == ProbeQueueDepth || p == ProbeOpenZones || p == ProbeTenantQD ||
+		p == ProbePoolLive
 }
 
 // ProbeKey packs a probe identity into a ring-record key.
@@ -383,6 +396,12 @@ func ProbeName(key uint64) string {
 		return fmt.Sprintf("tenant_bytes/t%d", dev)
 	case ProbeTrimDropped:
 		return "trim_dropped"
+	case ProbePoolMiss:
+		return "pool_miss"
+	case ProbePoolLive:
+		return "pool_live"
+	case ProbePayloadCopy:
+		return "payload_copy"
 	}
 	return fmt.Sprintf("probe%d/dev%d/%d", kind, dev, aux)
 }

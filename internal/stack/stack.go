@@ -373,6 +373,22 @@ func NewOn(eng *sim.Engine, kind Kind, opts Options) (*Platform, error) {
 					tr.Counter(now, obs.ProbeKey(obs.ProbeChanReadBusy, i, ch), int64(d.ChannelReadBusy(ch)))
 				}
 			}
+			// Unified-buffer-pool health (BIZA kinds): heap fallbacks,
+			// buffers still held at finalize (leak indicator), and payload
+			// copies on the data path — the engine's own NoteCopy count
+			// plus the flash models' defensive setData copies.
+			if c := p.BIZA; c != nil {
+				st := c.Pool().Stats()
+				tr.Counter(now, obs.ProbeKey(obs.ProbePoolMiss, 0, 0), st.Misses)
+				tr.Counter(now, obs.ProbeKey(obs.ProbePoolLive, 0, 0), c.Pool().Live())
+				copies := st.Copies
+				for _, d := range p.ZNSDevs {
+					if bsz := d.Config().BlockSize; bsz > 0 {
+						copies += int64(d.Stats().BufCopiedBytes) / int64(bsz)
+					}
+				}
+				tr.Counter(now, obs.ProbeKey(obs.ProbePayloadCopy, 0, 0), copies)
+			}
 		})
 	}
 	return p, nil

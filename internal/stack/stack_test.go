@@ -437,3 +437,50 @@ func TestRAIZNTrimDropsCounted(t *testing.T) {
 		t.Fatalf("BIZA platform reports %d trim drops", p2.TrimDrops())
 	}
 }
+
+// TestPooledWorkloadZeroCopyProbes drives the BIZA engine with pooled,
+// refcounted payloads (workload.MicroSpec.Pooled via blockdev.BufWriter)
+// and checks the unified-pool health probes publish at finalize: misses
+// are counted (the once-silent heap fallback), payload copies are
+// observable, and pool_live lands at zero — every reference the workload
+// transferred came back after the drain.
+func TestPooledWorkloadZeroCopyProbes(t *testing.T) {
+	opts := smallOpts()
+	tr := obs.New(obs.Config{})
+	opts.Trace = tr
+	p, err := New(KindBIZA, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Dev.(blockdev.BufWriter); !ok {
+		t.Fatal("BIZA engine does not implement blockdev.BufWriter")
+	}
+	res := workload.RunMicro(p.Eng, p.Dev, workload.MicroSpec{
+		Pattern: workload.Seq, SizeBlocks: 16, IODepth: 8,
+		Duration: 10 * sim.Millisecond, Pooled: true,
+	})
+	if res.Ops == 0 || res.Errors != 0 {
+		t.Fatalf("pooled run: %d ops, %d errors", res.Ops, res.Errors)
+	}
+	p.BIZA.Flush() // harden buffered ZRWA contents so their refs drop
+	p.Eng.Run()
+	tr.Finalize()
+	probes := map[string]float64{}
+	for _, ps := range tr.ProbeStats() {
+		probes[ps.Name] = ps.Value
+	}
+	miss, ok := probes["pool_miss"]
+	if !ok || miss <= 0 {
+		t.Fatalf("pool_miss probe = %v (present=%v), want > 0 (cold pool must miss)", miss, ok)
+	}
+	if _, ok := probes["payload_copy"]; !ok {
+		t.Fatal("payload_copy probe not published")
+	}
+	live, ok := probes["pool_live"]
+	if !ok {
+		t.Fatal("pool_live probe not published")
+	}
+	if live != 0 {
+		t.Fatalf("pool_live = %.0f after flush+drain, want 0 (leaked references)", live)
+	}
+}

@@ -34,6 +34,11 @@ type MicroSpec struct {
 	SpanBlocks  int64 // address space to exercise; 0 = whole device
 	Seed        uint64
 	WarmupBytes uint64 // bytes completed before measurement starts
+	// Pooled makes writes carry real payloads drawn from the device's
+	// unified buffer pool (blockdev.BufWriter), exercising the zero-copy
+	// ownership-transfer path instead of the data=nil control path.
+	// Ignored for reads and for devices without a pool.
+	Pooled bool
 }
 
 // MicroResult reports a measured run.
@@ -118,11 +123,28 @@ func RunMicro(eng *sim.Engine, dev blockdev.Device, spec MicroSpec) MicroResult 
 			issue()
 		}
 	}
+	var bw blockdev.BufWriter
+	if spec.Pooled && !spec.Read {
+		bw, _ = dev.(blockdev.BufWriter)
+	}
+	bs := dev.BlockSize()
 	issue = func() {
 		lba := nextLBA()
-		if spec.Read {
+		switch {
+		case spec.Read:
 			dev.Read(lba, int(size), func(r blockdev.ReadResult) { complete(r.Err, r.Latency) })
-		} else {
+		case bw != nil:
+			// Zero-copy submission: the payload is pooled, stamped with a
+			// deterministic pattern, and handed over by reference — the
+			// one reference Get returned transfers to the engine.
+			b := bw.Pool().Get(int(size)*bs, 0)
+			fill := b.Bytes()
+			stamp := byte(uint64(lba) ^ spec.Seed)
+			for i := range fill {
+				fill[i] = stamp
+			}
+			bw.WriteBuf(lba, int(size), b, func(r blockdev.WriteResult) { complete(r.Err, r.Latency) })
+		default:
 			dev.Write(lba, int(size), nil, func(r blockdev.WriteResult) { complete(r.Err, r.Latency) })
 		}
 	}

@@ -3,6 +3,7 @@ package zns
 import (
 	"fmt"
 
+	"biza/internal/buf"
 	"biza/internal/obs"
 	"biza/internal/sim"
 )
@@ -105,6 +106,7 @@ type FlashStats struct {
 	AbsorbedBytes   uint64          // overwrites absorbed in ZRWA (never programmed)
 	Erases          uint64
 	ReadBytes       uint64
+	BufCopiedBytes  uint64 // payload bytes defensively copied into the write buffer
 }
 
 // TotalProgrammed reports flash-programmed bytes across all classes.
@@ -122,10 +124,13 @@ func (f FlashStats) ProgrammedByTag(t WriteTag) uint64 { return f.ProgrammedByte
 // bufBlock is one dirty or committed-but-unprogrammed block in the device
 // write buffer. acked marks content whose write completion reached the
 // host: power loss hardens acked blocks (capacitor flush) and drops
-// unacknowledged ones.
+// unacknowledged ones. When own is non-nil, data is a borrowed view into
+// the caller's refcounted buffer (one reference held per block) instead of
+// a device-side copy — the zero-copy form of the defensive payload copy.
 type bufBlock struct {
 	data  []byte
 	oob   []byte
+	own   *buf.Buf // reference pinning data when it is a borrowed view
 	tag   WriteTag
 	acked bool
 }
@@ -537,6 +542,13 @@ func (d *Device) Reset(z int, done func(error)) {
 	zn.zrwa = false
 	zn.wp = 0
 	zn.written = 0
+	// Recycle the dirty buffer blocks the erase discards. Pending blocks
+	// stay out: their in-flight programOps still reference them and will
+	// recycle them at retirement — recycling here would double-free.
+	for b, bb := range zn.dirty {
+		d.putBufBlock(bb)
+		delete(zn.dirty, b)
+	}
 	zn.dirty = nil
 	zn.pending = nil
 	zn.credit = 0
@@ -675,16 +687,30 @@ func (d *Device) acquireCreditOp(zn *zone, op *writeOp) {
 // commands, which is what makes kernel-level reordering dangerous (§3.2).
 func (d *Device) Write(z int, lba int64, nblocks int, data []byte, oob [][]byte, tag WriteTag, done func(WriteResult)) {
 	span, hinted := d.takeHint()
-	d.write(z, lba, nblocks, data, oob, tag, span, hinted, done, nil)
+	d.write(z, lba, nblocks, data, oob, tag, nil, span, hinted, done, nil)
 }
 
-// write is the shared body of Write and Append, driven by a pooled writeOp
-// (see ops.go) instead of a per-command closure chain.
+// WriteOwned is Write for refcounted payloads: data must be a view into
+// own, and the call transfers exactly one reference. Blocks parked in the
+// ZRWA buffer hold further references of their own (released when their
+// flash program retires), so the device never copies the payload. The
+// caller must not mutate the buffer after submission — the device may
+// read the view until the last program completes, which is after the
+// write acknowledgment.
+func (d *Device) WriteOwned(z int, lba int64, nblocks int, data []byte, oob [][]byte, tag WriteTag, own *buf.Buf, done func(WriteResult)) {
+	span, hinted := d.takeHint()
+	d.write(z, lba, nblocks, data, oob, tag, own, span, hinted, done, nil)
+}
+
+// write is the shared body of Write, WriteOwned, and Append, driven by a
+// pooled writeOp (see ops.go) instead of a per-command closure chain. own,
+// if non-nil, carries one transferred reference pinning data; the op
+// releases it on every termination path (putWriteOp).
 func (d *Device) write(z int, lba int64, nblocks int, data []byte, oob [][]byte, tag WriteTag,
-	span obs.SpanID, hinted bool, done func(WriteResult), adone func(AppendResult)) {
+	own *buf.Buf, span obs.SpanID, hinted bool, done func(WriteResult), adone func(AppendResult)) {
 	op := d.getWriteOp()
 	op.z, op.lba, op.n = z, lba, int64(nblocks)
-	op.tag, op.data, op.oob = tag, data, oob
+	op.tag, op.data, op.oob, op.own = tag, data, oob, own
 	op.span, op.start = span, d.eng.Now()
 	op.done, op.adone = done, adone
 	zn, err := d.zoneArg(z)
@@ -771,27 +797,25 @@ func (d *Device) write(z int, lba int64, nblocks int, data []byte, oob [][]byte,
 		// Implicit commit: shift the window right so the write fits.
 		d.commitRange(zn, end-d.cfg.ZRWABlocks, obs.CommitImplicit)
 	}
-	// Count slots needed (first-touch blocks only) at validation time so
-	// concurrent in-flight writes see consistent dirty state.
+	// Count slots needed (first-touch blocks only) and install contents in
+	// one pass — buffering happens at validation time, before the command
+	// queues for credit, so concurrent in-flight writes see consistent
+	// dirty state. One map lookup per block.
 	var need int64
-	for i := int64(0); i < n; i++ {
-		if _, ok := zn.dirty[lba+i]; !ok {
-			need++
-		} else {
-			d.stats.AbsorbedBytes += uint64(d.cfg.BlockSize)
-		}
-	}
 	bs := int64(d.cfg.BlockSize)
 	for i := int64(0); i < n; i++ {
 		b := lba + i
 		bb := zn.dirty[b]
 		if bb == nil {
+			need++
 			bb = d.getBufBlock()
 			zn.dirty[b] = bb
+		} else {
+			d.stats.AbsorbedBytes += uint64(d.cfg.BlockSize)
 		}
 		bb.tag = tag
 		if data != nil {
-			d.setData(bb, data[i*bs:(i+1)*bs])
+			d.setData(bb, data[i*bs:(i+1)*bs], own)
 		}
 		if oob != nil && int(i) < len(oob) && oob[i] != nil {
 			d.setOOB(bb, oob[i])
@@ -847,7 +871,7 @@ func (d *Device) Append(z int, nblocks int, data []byte, oob [][]byte, tag Write
 		fail(ErrZoneFull)
 		return
 	}
-	d.write(z, zn.wp, nblocks, data, oob, tag, span, hinted, nil, done)
+	d.write(z, zn.wp, nblocks, data, oob, tag, nil, span, hinted, nil, done)
 }
 
 // Read submits an async read of nblocks starting at block lba of zone z.
@@ -921,8 +945,14 @@ func (d *Device) harden(zn *zone, b int64, bb *bufBlock) {
 			zn.oob = make(map[int64][]byte)
 		}
 		if bb.data != nil {
-			zn.data[b] = bb.data
-			bb.data = nil
+			if bb.own != nil {
+				// Borrowed view: the flash store cannot take ownership of a
+				// slice inside a refcounted slab about to be released.
+				zn.data[b] = append([]byte(nil), bb.data...)
+			} else {
+				zn.data[b] = bb.data
+				bb.data = nil
+			}
 		}
 		if bb.oob != nil {
 			zn.oob[b] = bb.oob

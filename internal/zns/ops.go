@@ -1,6 +1,7 @@
 package zns
 
 import (
+	"biza/internal/buf"
 	"biza/internal/obs"
 	"biza/internal/sim"
 )
@@ -37,6 +38,7 @@ type writeOp struct {
 	tag     WriteTag
 	data    []byte
 	oob     [][]byte
+	own     *buf.Buf // transferred reference pinning data (WriteOwned)
 	span    obs.SpanID
 	ownSpan bool
 	start   sim.Time
@@ -57,6 +59,7 @@ func (d *Device) getWriteOp() *writeOp {
 }
 
 func (d *Device) putWriteOp(op *writeOp) {
+	buf.Release(op.own)
 	*op = writeOp{d: d}
 	d.wopFree = append(d.wopFree, op)
 }
@@ -336,10 +339,15 @@ func (op *programOp) Fire(s, e sim.Time) {
 					zn.data = make(map[int64][]byte)
 					zn.oob = make(map[int64][]byte)
 				}
-				// Ownership of the buffers transfers to the flash store.
+				// Ownership of scratch buffers transfers to the flash store;
+				// borrowed views are copied out before their reference drops.
 				if bb.data != nil {
-					zn.data[b] = bb.data
-					bb.data = nil
+					if bb.own != nil {
+						zn.data[b] = append([]byte(nil), bb.data...)
+					} else {
+						zn.data[b] = bb.data
+						bb.data = nil
+					}
 				}
 				if bb.oob != nil {
 					zn.oob[b] = bb.oob
@@ -373,7 +381,11 @@ func (d *Device) getBufBlock() *bufBlock {
 }
 
 func (d *Device) putBufBlock(bb *bufBlock) {
-	if bb.data != nil {
+	if bb.own != nil {
+		// data is a borrowed view, not device scratch: drop the reference
+		// instead of recycling someone else's slab.
+		bb.own.Release()
+	} else if bb.data != nil {
 		d.dataFree = append(d.dataFree, bb.data)
 	}
 	if bb.oob != nil {
@@ -383,8 +395,27 @@ func (d *Device) putBufBlock(bb *bufBlock) {
 	d.bbFree = append(d.bbFree, bb)
 }
 
-// setData copies src into the block's data scratch, reusing pooled buffers.
-func (d *Device) setData(bb *bufBlock, src []byte) {
+// setData installs src as the block's contents. With own non-nil the block
+// borrows the caller's refcounted slab (one Retain per block, zero copy);
+// otherwise it defensively copies into pooled scratch, counted in
+// FlashStats.BufCopiedBytes — the copy the zero-copy gates assert away.
+func (d *Device) setData(bb *bufBlock, src []byte, own *buf.Buf) {
+	if own != nil {
+		if bb.own != nil {
+			bb.own.Release()
+		} else if bb.data != nil {
+			d.dataFree = append(d.dataFree, bb.data)
+		}
+		own.Retain()
+		bb.own = own
+		bb.data = src
+		return
+	}
+	if bb.own != nil {
+		bb.own.Release()
+		bb.own = nil
+		bb.data = nil
+	}
 	if bb.data == nil {
 		if n := len(d.dataFree); n > 0 {
 			bb.data = d.dataFree[n-1]
@@ -394,6 +425,7 @@ func (d *Device) setData(bb *bufBlock, src []byte) {
 		}
 	}
 	bb.data = append(bb.data[:0], src...)
+	d.stats.BufCopiedBytes += uint64(len(src))
 }
 
 // setOOB copies src into the block's OOB scratch, reusing pooled buffers.
