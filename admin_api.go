@@ -1,0 +1,189 @@
+package biza
+
+import (
+	"biza/internal/admin"
+	"biza/internal/ops"
+	"biza/internal/volume"
+)
+
+// Job is a typed admin operation record; see internal/admin for the full
+// lifecycle (pending → running → done|failed, with paused and canceled).
+type Job = admin.Job
+
+// JobKind names an admin job type.
+type JobKind = admin.Kind
+
+// Admin job kinds.
+const (
+	// JobReplace hot-swaps a member device and rebuilds redundancy,
+	// optionally paced (JobParams.StripesPerStep / StepGapNanos).
+	JobReplace = admin.KindReplace
+	// JobScrub reads the whole array in paced steps, counting unreadable
+	// ranges.
+	JobScrub = admin.KindScrub
+	// JobVolumeResize grows or shrinks a named volume in place.
+	JobVolumeResize = admin.KindVolumeResize
+	// JobVolumeDelete deletes a named volume, reclaiming its range.
+	JobVolumeDelete = admin.KindVolumeDelete
+	// JobCrash cuts power immediately (executes at submit, not queued).
+	JobCrash = admin.KindCrash
+	// JobRecover rebuilds array state from the surviving devices.
+	JobRecover = admin.KindRecover
+	// JobSetFailed marks a member failed or healthy (executes at submit).
+	JobSetFailed = admin.KindSetFailed
+)
+
+// JobParams carries the union of job parameters.
+type JobParams = admin.Params
+
+// JobState is a job's lifecycle position.
+type JobState = admin.State
+
+// Job states.
+const (
+	JobPending  = admin.StatePending
+	JobRunning  = admin.StateRunning
+	JobPaused   = admin.StatePaused
+	JobDone     = admin.StateDone
+	JobFailed   = admin.StateFailed
+	JobCanceled = admin.StateCanceled
+)
+
+// Admin is the array's mutating control plane: every administrative
+// operation — device replacement, scrubs, crash/recover, volume resize
+// and delete — is a typed Job executed by a deterministic per-array
+// orchestrator, one at a time, in submission order. The synchronous
+// helpers below submit a job and drive the simulation until it finishes;
+// event-driven callers use Submit and drive the engine themselves.
+//
+// The same jobs are reachable over HTTP: wire Gateway() into an
+// OpsServer via SetJobs and drain staged commands at the injection
+// boundary (see cmd/bizabench -live for the canonical loop).
+type Admin struct {
+	a   *Array
+	orc *admin.Orchestrator
+	gw  *admin.Gateway
+}
+
+// Admin returns the array's admin control plane, creating it on first
+// use.
+func (a *Array) Admin() *Admin {
+	if a.adm == nil {
+		orc := admin.New(a.p)
+		orc.SetVolumeSource(func() *volume.Manager { return a.vm })
+		a.adm = &Admin{a: a, orc: orc}
+	}
+	return a.adm
+}
+
+// Submit queues a job (or executes it, for the immediate kinds JobCrash
+// and JobSetFailed) and returns its id without driving the simulation.
+// The job's outcome lands in its State/Err fields as the engine runs.
+func (ad *Admin) Submit(kind JobKind, p JobParams) (uint64, error) {
+	return ad.orc.Submit(kind, p)
+}
+
+// Job returns a snapshot of one job. Safe from any goroutine.
+func (ad *Admin) Job(id uint64) (Job, bool) { return ad.orc.Job(id) }
+
+// Jobs returns a snapshot of all jobs in submission order. Safe from any
+// goroutine.
+func (ad *Admin) Jobs() []Job { return ad.orc.Jobs() }
+
+// Pause parks a running paced job at its next step boundary.
+func (ad *Admin) Pause(id uint64) error { return ad.orc.Pause(id) }
+
+// Resume restarts a paused job.
+func (ad *Admin) Resume(id uint64) error { return ad.orc.Resume(id) }
+
+// Cancel stops a pending or cancelable running job; a running rebuild
+// refuses (it must restore redundancy).
+func (ad *Admin) Cancel(id uint64) error { return ad.orc.Cancel(id) }
+
+// Gateway returns the HTTP staging boundary for this control plane,
+// creating it on first use. Pass it to an OpsServer's SetJobs so the
+// /v1/jobs routes reach this array, and call its Drain on the simulation
+// driver at virtual-time boundaries to inject staged commands.
+func (ad *Admin) Gateway() *admin.Gateway {
+	if ad.gw == nil {
+		ad.gw = admin.NewGateway(ad.orc)
+	}
+	return ad.gw
+}
+
+// SetJobs is a convenience: wires this control plane's gateway into an
+// ops server.
+func (ad *Admin) SetJobs(s *ops.Server) { s.SetJobs(ad.Gateway()) }
+
+// run submits a job and drives the simulation until the queue drains,
+// returning the job's typed error.
+func (ad *Admin) run(kind JobKind, p JobParams) error {
+	id, err := ad.orc.Submit(kind, p)
+	if err != nil {
+		return err
+	}
+	ad.a.p.Eng.Run()
+	if j, ok := ad.orc.Job(id); !ok || !j.State.Terminal() {
+		return ErrIncomplete
+	}
+	return ad.orc.Err(id)
+}
+
+// Crash submits an immediate power-cut job: in-flight commands die with
+// their driver queues; pending simulation events are NOT drained first
+// (a power cut does not wait for outstanding work).
+func (ad *Admin) Crash() error {
+	id, err := ad.orc.Submit(JobCrash, JobParams{})
+	if err != nil {
+		return err
+	}
+	return ad.orc.Err(id) // immediate kinds finish synchronously
+}
+
+// SetDeviceFailed submits an immediate degraded-mode toggle for member
+// dev (BIZA kinds only).
+func (ad *Admin) SetDeviceFailed(dev int, failed bool) error {
+	id, err := ad.orc.Submit(JobSetFailed, JobParams{Device: dev, Failed: failed})
+	if err != nil {
+		return err
+	}
+	return ad.orc.Err(id)
+}
+
+// Recover submits a recovery job and drives the simulation until the
+// OOB scan completes.
+func (ad *Admin) Recover() error { return ad.run(JobRecover, JobParams{}) }
+
+// ReplaceDevice submits an unpaced device-replacement job and drives the
+// simulation until redundancy is restored.
+func (ad *Admin) ReplaceDevice(dev int) error {
+	return ad.run(JobReplace, JobParams{Device: dev})
+}
+
+// ReplaceDevicePaced is ReplaceDevice with the rebuild throttled:
+// stripesPerStep stripes dissolve per step with stepGapNanos of virtual
+// idle between steps — the rebuild-rate versus foreground-latency knob.
+func (ad *Admin) ReplaceDevicePaced(dev, stripesPerStep int, stepGapNanos int64) error {
+	return ad.run(JobReplace, JobParams{
+		Device: dev, StripesPerStep: stripesPerStep, StepGapNanos: stepGapNanos,
+	})
+}
+
+// Scrub reads the whole array in paced steps (blocksPerStep blocks per
+// read, gapNanos of virtual idle between reads), driving the simulation
+// to completion; unreadable ranges fail the job.
+func (ad *Admin) Scrub(blocksPerStep int, gapNanos int64) error {
+	return ad.run(JobScrub, JobParams{BlocksPerStep: blocksPerStep, GapNanos: gapNanos})
+}
+
+// ResizeVolume grows or shrinks a named volume in place via a job;
+// growth requires free space directly after the volume's range.
+func (ad *Admin) ResizeVolume(name string, newBlocks int64) error {
+	return ad.run(JobVolumeResize, JobParams{Volume: name, NewBlocks: newBlocks})
+}
+
+// DeleteVolume deletes a quiescent named volume via a job, trimming and
+// reclaiming its LBA range.
+func (ad *Admin) DeleteVolume(name string) error {
+	return ad.run(JobVolumeDelete, JobParams{Volume: name})
+}

@@ -149,8 +149,9 @@ type WriteAmp = metrics.WriteAmp
 
 // Array is a block-interface all-flash array in a private simulation.
 type Array struct {
-	p  *stack.Platform
-	vm *volume.Manager
+	p   *stack.Platform
+	vm  *volume.Manager
+	adm *Admin
 }
 
 // New builds an array.
@@ -271,26 +272,18 @@ func (a *Array) GCEvents() uint64 {
 }
 
 // SetDeviceFailed toggles a member failure for degraded-mode reads (BIZA
-// kinds only).
+// kinds only). Thin wrapper over an Admin JobSetFailed job; the job
+// record (timing, outcome) lands in Admin().Jobs().
 func (a *Array) SetDeviceFailed(dev int, failed bool) error {
-	if a.p.BIZA == nil {
-		return errors.New("biza: degraded mode requires a BIZA platform")
-	}
-	return a.p.BIZA.SetDeviceFailed(dev, failed)
+	return a.Admin().SetDeviceFailed(dev, failed)
 }
 
 // ReplaceDevice hot-swaps a failed member with a fresh device and
 // rebuilds redundancy, driving the simulation to completion (BIZA kinds
-// only).
+// only). Thin wrapper over an unpaced Admin JobReplace job; use
+// Admin().ReplaceDevicePaced to bound the rebuild's foreground impact.
 func (a *Array) ReplaceDevice(dev int) error {
-	var rerr error
-	ok := false
-	a.p.ReplaceDevice(dev, func(err error) { rerr = err; ok = true })
-	a.p.Eng.Run()
-	if !ok {
-		return ErrIncomplete
-	}
-	return rerr
+	return a.Admin().ReplaceDevice(dev)
 }
 
 // Health reports the state of every member (BIZA kinds only; nil
@@ -316,23 +309,17 @@ func (a *Array) Reconstructions() uint64 {
 // Crash models a host power loss: in-flight commands die with their
 // driver queues and unacknowledged write-buffer contents are dropped
 // (acknowledged ZRWA blocks harden, PLP-style). I/O fails with ErrCrashed
-// until Recover succeeds. BIZA kinds only.
-func (a *Array) Crash() error { return a.p.Crash() }
+// until Recover succeeds. BIZA kinds only. Thin wrapper over an
+// immediate Admin JobCrash job — pending simulation events are NOT
+// drained first, so in-flight work dies exactly as a real power cut.
+func (a *Array) Crash() error { return a.Admin().Crash() }
 
 // Recover restarts a crashed array: fresh driver queues attach to the
 // surviving devices and the mapping tables are rebuilt from the per-block
 // OOB records, driving the simulation until the scan completes. All
-// acknowledged data is readable afterwards.
-func (a *Array) Recover() error {
-	var rerr error
-	ok := false
-	a.p.Recover(func(err error) { rerr = err; ok = true })
-	a.p.Eng.Run()
-	if !ok {
-		return ErrIncomplete
-	}
-	return rerr
-}
+// acknowledged data is readable afterwards. Thin wrapper over an Admin
+// JobRecover job.
+func (a *Array) Recover() error { return a.Admin().Recover() }
 
 // Volume is a named tenant slice of the array with its own QoS class.
 // See internal/volume for the asynchronous API and semantics.

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"biza"
+	"biza/internal/blockdev"
+	"biza/internal/metrics"
+	"biza/internal/ops"
+)
+
+// Live-mode sizing. Each real tick advances the simulation by a fixed
+// virtual slice and republishes a snapshot, so the ops endpoint shows a
+// long-lived array mutating in (scaled) real time.
+const (
+	liveSlice    = 2 * time.Millisecond  // virtual time per tick
+	liveTick     = 50 * time.Millisecond // real time per tick
+	liveSpan     = 4096                  // working-set blocks (16 MiB)
+	liveOpBlocks = 64                    // blocks per foreground write
+	liveTickOps  = 4                     // foreground writes issued per tick
+)
+
+// runLive serves one long-lived BIZA array behind the ops endpoint
+// instead of running a sweep: admin jobs submitted over POST /v1/jobs are
+// drained into the simulation at tick boundaries, a light foreground
+// write workload keeps stripes open so rebuilds have substance, and every
+// tick republishes virtual time, probes, and the job list. The loop is
+// the canonical deterministic injection boundary: HTTP staging happens in
+// wall time, but commands enter the simulation only between ticks, so a
+// given (seed, command sequence) replays bit-identically.
+func runLive(opsSrv *ops.Server, seed uint64) int {
+	arr, err := biza.New(biza.Options{Seed: seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bizabench: live array: %v\n", err)
+		return 1
+	}
+	adm := arr.Admin()
+	adm.SetJobs(opsSrv)
+	gw := adm.Gateway()
+
+	// Prefill the working set so replace/scrub jobs see real stripes.
+	buf := make([]byte, liveOpBlocks*arr.BlockSize())
+	for lba := int64(0); lba < liveSpan; lba += liveOpBlocks {
+		if err := arr.WriteSync(lba, liveOpBlocks, buf); err != nil {
+			fmt.Fprintf(os.Stderr, "bizabench: live prefill: %v\n", err)
+			return 1
+		}
+	}
+
+	var next, writes, writeErrs int64
+	publish := func() {
+		opsSrv.Publish(ops.Snapshot{
+			Live:         true,
+			Experiment:   "live",
+			VirtualNanos: arr.Now(),
+			Jobs:         gw.JobsJSON(),
+			Probes: []metrics.ProbeStat{
+				{Name: "live/foreground_writes", Kind: metrics.ProbeCounter, Value: float64(writes)},
+				{Name: "live/write_errors", Kind: metrics.ProbeCounter, Value: float64(writeErrs)},
+				{Name: "live/absorbed_bytes", Kind: metrics.ProbeCounter, Value: float64(arr.AbsorbedBytes())},
+				{Name: "live/gc_events", Kind: metrics.ProbeCounter, Value: float64(arr.GCEvents())},
+				{Name: "live/reconstructions", Kind: metrics.ProbeCounter, Value: float64(arr.Reconstructions())},
+			},
+		})
+	}
+	publish()
+	fmt.Fprintf(os.Stderr, "# live array ready (seed %d); POST /v1/jobs to mutate; SIGINT/SIGTERM to stop\n", seed)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case <-sig:
+			return 0
+		default:
+		}
+		// Inject staged HTTP commands at the tick boundary, then advance.
+		gw.Drain()
+		for i := 0; i < liveTickOps; i++ {
+			lba := next
+			next = (next + liveOpBlocks) % liveSpan
+			writes++
+			arr.Device().Write(lba, liveOpBlocks, nil, func(res blockdev.WriteResult) {
+				if res.Err != nil {
+					writeErrs++
+				}
+			})
+		}
+		arr.RunFor(int64(liveSlice))
+		publish()
+		time.Sleep(liveTick)
+	}
+}

@@ -52,6 +52,7 @@ func run() int {
 	jsonPath := flag.String("json", "", "write machine-readable results ("+bench.ReportSchema+" schema) to this file")
 	series := flag.Bool("series", false, "sample virtual-time series into the report's \"series\" section (deterministic at any -parallel/-shards)")
 	serve := flag.String("serve", "", "serve the live ops endpoint (/metrics /vars /series /stream /debug/pprof) on this address; blocks after the sweep until SIGINT/SIGTERM")
+	live := flag.Bool("live", false, "with -serve: skip the sweep and serve one long-lived array whose admin jobs are driven over POST /v1/jobs until SIGINT/SIGTERM")
 	stats := flag.Bool("stats", true, "print per-experiment wall/virtual-time accounting to stderr")
 	tracePath := flag.String("trace", "", "write a Perfetto trace_event JSON trace to this file")
 	traceJSONL := flag.String("trace-jsonl", "", "write a compact JSONL trace to this file")
@@ -118,6 +119,10 @@ func run() int {
 	if *series || *serve != "" {
 		runner.Series = &metrics.SamplerConfig{} // defaults: 50µs cadence, 512 points
 	}
+	if *live && *serve == "" {
+		fmt.Fprintln(os.Stderr, "bizabench: -live requires -serve")
+		return 1
+	}
 	var opsSrv *ops.Server
 	if *serve != "" {
 		opsSrv = ops.New()
@@ -127,8 +132,13 @@ func run() int {
 			return 1
 		}
 		fmt.Fprintf(os.Stderr, "# ops endpoint on http://%s (/metrics /vars /series /stream /debug/pprof)\n", addr)
-		opsSrv.Attach(runner)
+		if !*live {
+			opsSrv.Attach(runner)
+		}
 		defer opsSrv.Close()
+	}
+	if *live {
+		return runLive(opsSrv, *seed)
 	}
 	rep := runner.Run(ids)
 	if opsSrv != nil {

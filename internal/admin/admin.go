@@ -1,0 +1,565 @@
+// Package admin is the live-operations control plane: a deterministic
+// job orchestrator that executes mutating administrative operations —
+// device replacement, paced scrubs, crash/recover cycles, volume resize
+// and delete — against one array as paced virtual-time steps.
+//
+// The design mirrors internal/ops in the opposite direction. ops
+// publishes immutable snapshots out of the simulation for concurrent HTTP
+// readers; admin carries mutating commands *into* the simulation across a
+// single injection boundary. HTTP handlers never touch the array: they
+// stage typed Commands on a Gateway (mutex-guarded, any goroutine), and
+// the simulation driver drains staged commands into the Orchestrator at
+// virtual-time boundaries of its choosing. Every injected command is
+// recorded in a journal of (virtual time, sequence, command) entries, so
+// a run that mixed live HTTP traffic into the simulation can be replayed
+// bit-identically by re-driving the journal — the acceptance test for the
+// whole control plane.
+//
+// One Orchestrator serves one array and runs one job at a time in
+// submission order; a rolling replacement is nothing more than submitting
+// one replace job per member and letting the queue serialize them.
+// Long-running kinds (replace, scrub) execute as paced steps with
+// configurable step size and virtual-time gap — the rebuild-rate versus
+// foreground-latency knob the `rolling` experiment sweeps — and can be
+// paused, resumed, and (while still pending) canceled. Crash and
+// set-failed are immediate kinds: they model power cuts and member
+// failures, which do not wait politely behind queued work, so Submit
+// executes them inline without draining the queue.
+package admin
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"biza/internal/blockdev"
+	"biza/internal/core"
+	"biza/internal/sim"
+	"biza/internal/stack"
+	"biza/internal/storerr"
+	"biza/internal/volume"
+)
+
+// Kind names a job type.
+type Kind string
+
+// Job kinds.
+const (
+	// KindReplace hot-swaps a member device and rebuilds redundancy,
+	// paced by StripesPerStep/StepGapNanos.
+	KindReplace Kind = "replace"
+	// KindScrub reads the whole array space in paced steps, counting
+	// unreadable ranges (BlocksPerStep/GapNanos).
+	KindScrub Kind = "scrub"
+	// KindVolumeResize grows or shrinks a named volume in place.
+	KindVolumeResize Kind = "volume-resize"
+	// KindVolumeDelete deletes a named volume and reclaims (trims) its
+	// LBA range.
+	KindVolumeDelete Kind = "volume-delete"
+	// KindCrash cuts power immediately (immediate kind: runs at submit,
+	// ahead of any queued jobs — power loss does not queue).
+	KindCrash Kind = "crash"
+	// KindRecover rebuilds the array state from the surviving devices.
+	KindRecover Kind = "recover"
+	// KindSetFailed marks a member failed or healthy (immediate kind).
+	KindSetFailed Kind = "set-failed"
+)
+
+// Params carries the union of job parameters; each kind reads its own
+// subset and ignores the rest.
+type Params struct {
+	// Device is the member index (replace, set-failed).
+	Device int `json:"device,omitempty"`
+	// Failed is the target state for set-failed.
+	Failed bool `json:"failed,omitempty"`
+	// StripesPerStep bounds concurrent stripe dissolutions per rebuild
+	// step (replace; 0 = unpaced).
+	StripesPerStep int `json:"stripes_per_step,omitempty"`
+	// StepGapNanos idles the rebuild between steps (replace).
+	StepGapNanos int64 `json:"step_gap_nanos,omitempty"`
+	// BlocksPerStep sizes one scrub read (scrub; default 1024).
+	BlocksPerStep int `json:"blocks_per_step,omitempty"`
+	// GapNanos idles the scrub between steps (scrub).
+	GapNanos int64 `json:"gap_nanos,omitempty"`
+	// Volume names the target volume (volume-resize, volume-delete).
+	Volume string `json:"volume,omitempty"`
+	// NewBlocks is the target capacity (volume-resize).
+	NewBlocks int64 `json:"new_blocks,omitempty"`
+}
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. pending → running → done|failed, with paused reachable
+// from running (and back), and canceled reachable from pending or
+// paused.
+const (
+	StatePending  State = "pending"
+	StateRunning  State = "running"
+	StatePaused   State = "paused"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Progress is a job's step counter.
+type Progress struct {
+	Done   int64  `json:"done"`
+	Total  int64  `json:"total"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Job is the typed operation record. All times are virtual nanoseconds.
+type Job struct {
+	ID          uint64   `json:"id"`
+	Kind        Kind     `json:"kind"`
+	Params      Params   `json:"params"`
+	State       State    `json:"state"`
+	Progress    Progress `json:"progress"`
+	Err         string   `json:"error,omitempty"`
+	SubmittedAt int64    `json:"submitted_at_nanos"`
+	StartedAt   int64    `json:"started_at_nanos,omitempty"`
+	FinishedAt  int64    `json:"finished_at_nanos,omitempty"`
+}
+
+// Command is one mutating operation crossing the injection boundary.
+type Command struct {
+	// Verb is one of submit, cancel, pause, resume.
+	Verb string `json:"verb"`
+	// JobID targets an existing job (cancel/pause/resume); on submit a
+	// non-zero JobID pins the new job's id (gateway pre-assignment and
+	// journal replay), 0 allocates the next id.
+	JobID  uint64 `json:"job_id,omitempty"`
+	Kind   Kind   `json:"kind,omitempty"`
+	Params Params `json:"params,omitempty"`
+}
+
+// Command verbs.
+const (
+	VerbSubmit = "submit"
+	VerbCancel = "cancel"
+	VerbPause  = "pause"
+	VerbResume = "resume"
+)
+
+// JournalEntry records one injected command at its virtual time; Seq
+// breaks ties between commands injected at the same instant.
+type JournalEntry struct {
+	At  int64   `json:"at_nanos"`
+	Seq uint64  `json:"seq"`
+	Cmd Command `json:"cmd"`
+}
+
+// jobRun pairs a job's published data with its runtime-only state.
+type jobRun struct {
+	job       Job
+	err       error  // the error a failed job finished with (typed)
+	parked    func() // continuation held while paused
+	cancelReq bool   // observed at the next step gate
+}
+
+// Orchestrator executes admin jobs against one platform, one at a time,
+// in submission order. All methods except Job/Jobs/Journal must run on
+// the platform's engine goroutine (simulation discipline); Job and Jobs
+// read an atomically published snapshot and are safe from any goroutine
+// — that is what the ops HTTP handlers poll.
+type Orchestrator struct {
+	eng  *sim.Engine
+	p    *stack.Platform
+	vols func() *volume.Manager
+
+	idAlloc *uint64 // shared with the gateway, advanced atomically
+
+	jobs    map[uint64]*jobRun
+	order   []uint64 // submission order (snapshot and journal iteration)
+	queue   []uint64 // pending, awaiting execution
+	running uint64   // id of the executing job, 0 = none
+
+	journal []JournalEntry
+	seq     uint64
+
+	snap     atomic.Pointer[[]Job]
+	onChange func()
+}
+
+// New returns an orchestrator for the platform.
+func New(p *stack.Platform) *Orchestrator {
+	o := &Orchestrator{
+		eng:     p.Eng,
+		p:       p,
+		idAlloc: new(uint64),
+		jobs:    make(map[uint64]*jobRun),
+	}
+	o.publish()
+	return o
+}
+
+// SetVolumeSource wires the volume manager lookup for volume jobs. A
+// func (rather than the manager itself) because the facade creates its
+// manager lazily.
+func (o *Orchestrator) SetVolumeSource(f func() *volume.Manager) { o.vols = f }
+
+// SetOnChange registers a hook fired after every published state change
+// (job transitions, progress steps). Live servers use it to republish
+// their ops snapshot. Runs on the engine goroutine.
+func (o *Orchestrator) SetOnChange(f func()) { o.onChange = f }
+
+// idAllocator exposes the shared id counter for a Gateway.
+func (o *Orchestrator) idAllocator() *uint64 { return o.idAlloc }
+
+// Journal returns the injected-command journal (do not mutate).
+func (o *Orchestrator) Journal() []JournalEntry { return o.journal }
+
+// Job returns a snapshot of one job. Safe from any goroutine.
+func (o *Orchestrator) Job(id uint64) (Job, bool) {
+	for _, j := range *o.snap.Load() {
+		if j.ID == id {
+			return j, true
+		}
+	}
+	return Job{}, false
+}
+
+// Jobs returns a snapshot of all jobs in submission order. Safe from any
+// goroutine.
+func (o *Orchestrator) Jobs() []Job { return *o.snap.Load() }
+
+// Err returns the typed error a failed job finished with — unlike the
+// string in Job.Err it preserves storerr identities for errors.Is. Nil
+// for successful, canceled, or unfinished jobs. Engine goroutine only.
+func (o *Orchestrator) Err(id uint64) error {
+	if r := o.jobs[id]; r != nil {
+		return r.err
+	}
+	return nil
+}
+
+// publish rebuilds the immutable job snapshot and fires the change hook.
+func (o *Orchestrator) publish() {
+	s := make([]Job, 0, len(o.order))
+	for _, id := range o.order {
+		s = append(s, o.jobs[id].job)
+	}
+	o.snap.Store(&s)
+	if o.onChange != nil {
+		o.onChange()
+	}
+}
+
+// Inject applies staged commands at the current virtual time — the
+// single deterministic injection boundary. Must run on the engine
+// goroutine; the commands' effects interleave with simulation events
+// exactly as if scheduled there, and each command lands in the journal.
+func (o *Orchestrator) Inject(cmds []Command) {
+	for _, c := range cmds {
+		o.Apply(c) // errors live in the job records
+	}
+}
+
+// Apply executes one command, journaling it first. Returns the affected
+// job id. Must run on the engine goroutine.
+func (o *Orchestrator) Apply(cmd Command) (uint64, error) {
+	o.seq++
+	o.journal = append(o.journal, JournalEntry{At: int64(o.eng.Now()), Seq: o.seq, Cmd: cmd})
+	switch cmd.Verb {
+	case VerbSubmit:
+		return o.submit(cmd)
+	case VerbCancel:
+		return cmd.JobID, o.Cancel(cmd.JobID)
+	case VerbPause:
+		return cmd.JobID, o.Pause(cmd.JobID)
+	case VerbResume:
+		return cmd.JobID, o.Resume(cmd.JobID)
+	}
+	return 0, fmt.Errorf("admin: unknown verb %q: %w", cmd.Verb, storerr.ErrBadArgument)
+}
+
+// Submit queues (or, for immediate kinds, executes) a new job and
+// returns its id. Must run on the engine goroutine. The job's eventual
+// success or failure is reported in its State/Err fields; Submit itself
+// errors only on malformed commands.
+func (o *Orchestrator) Submit(kind Kind, p Params) (uint64, error) {
+	return o.Apply(Command{Verb: VerbSubmit, Kind: kind, Params: p})
+}
+
+func (o *Orchestrator) submit(cmd Command) (uint64, error) {
+	switch cmd.Kind {
+	case KindReplace, KindScrub, KindVolumeResize, KindVolumeDelete,
+		KindCrash, KindRecover, KindSetFailed:
+	default:
+		return 0, fmt.Errorf("admin: unknown job kind %q: %w", cmd.Kind, storerr.ErrBadArgument)
+	}
+	id := cmd.JobID
+	if id == 0 {
+		id = atomic.AddUint64(o.idAlloc, 1)
+	} else {
+		// Journal replay pins ids; keep the allocator ahead of them.
+		for {
+			cur := atomic.LoadUint64(o.idAlloc)
+			if cur >= id || atomic.CompareAndSwapUint64(o.idAlloc, cur, id) {
+				break
+			}
+		}
+	}
+	if _, dup := o.jobs[id]; dup {
+		return id, fmt.Errorf("admin: job %d resubmitted: %w", id, storerr.ErrExists)
+	}
+	r := &jobRun{job: Job{
+		ID: id, Kind: cmd.Kind, Params: cmd.Params,
+		State: StatePending, SubmittedAt: int64(o.eng.Now()),
+	}}
+	o.jobs[id] = r
+	o.order = append(o.order, id)
+	if cmd.Kind == KindCrash || cmd.Kind == KindSetFailed {
+		// Immediate kinds: power cuts and member failures take effect
+		// now, not after queued maintenance drains.
+		o.start(r)
+		o.execImmediate(r)
+		return id, nil
+	}
+	o.queue = append(o.queue, id)
+	o.publish()
+	o.kick()
+	return id, nil
+}
+
+// Cancel stops a job that has not finished. Pending jobs cancel
+// outright; a paused or running scrub cancels at its next step gate; a
+// running or paused replace refuses (storerr.ErrBusy) — it has already
+// dissolved stripes and must run to completion to restore redundancy.
+func (o *Orchestrator) Cancel(id uint64) error {
+	r := o.jobs[id]
+	if r == nil {
+		return fmt.Errorf("admin: job %d: %w", id, storerr.ErrNotFound)
+	}
+	switch r.job.State {
+	case StatePending:
+		r.job.State = StateCanceled
+		r.job.FinishedAt = int64(o.eng.Now())
+		// Left in o.queue; kick skips canceled entries.
+		o.publish()
+		return nil
+	case StateRunning, StatePaused:
+		if r.job.Kind == KindReplace {
+			return fmt.Errorf("admin: job %d: rebuild in progress: %w", id, storerr.ErrBusy)
+		}
+		r.cancelReq = true
+		if r.parked != nil {
+			// Paused with a held continuation: run it so the step gate
+			// observes the cancel now rather than on a resume that may
+			// never come.
+			cont := r.parked
+			r.parked = nil
+			cont()
+		}
+		return nil
+	default:
+		return fmt.Errorf("admin: job %d already %s: %w", id, r.job.State, storerr.ErrWrongState)
+	}
+}
+
+// Pause parks a running paced job at its next step boundary. Immediate
+// and already-finished jobs refuse.
+func (o *Orchestrator) Pause(id uint64) error {
+	r := o.jobs[id]
+	if r == nil {
+		return fmt.Errorf("admin: job %d: %w", id, storerr.ErrNotFound)
+	}
+	if r.job.State != StateRunning {
+		return fmt.Errorf("admin: job %d is %s, not running: %w", id, r.job.State, storerr.ErrWrongState)
+	}
+	r.job.State = StatePaused
+	o.publish()
+	return nil
+}
+
+// Resume restarts a paused job.
+func (o *Orchestrator) Resume(id uint64) error {
+	r := o.jobs[id]
+	if r == nil {
+		return fmt.Errorf("admin: job %d: %w", id, storerr.ErrNotFound)
+	}
+	if r.job.State != StatePaused {
+		return fmt.Errorf("admin: job %d is %s, not paused: %w", id, r.job.State, storerr.ErrWrongState)
+	}
+	r.job.State = StateRunning
+	cont := r.parked
+	r.parked = nil
+	o.publish()
+	if cont != nil {
+		cont()
+	}
+	return nil
+}
+
+// kick starts the next runnable queued job if none is executing.
+func (o *Orchestrator) kick() {
+	for o.running == 0 && len(o.queue) > 0 {
+		id := o.queue[0]
+		o.queue = o.queue[1:]
+		r := o.jobs[id]
+		if r.job.State != StatePending {
+			continue // canceled while queued
+		}
+		o.start(r)
+		o.exec(r)
+		return
+	}
+}
+
+func (o *Orchestrator) start(r *jobRun) {
+	o.running = r.job.ID
+	r.job.State = StateRunning
+	r.job.StartedAt = int64(o.eng.Now())
+	o.publish()
+}
+
+// finish retires the executing job and starts the next one.
+func (o *Orchestrator) finish(r *jobRun, err error) {
+	r.job.FinishedAt = int64(o.eng.Now())
+	r.err = err
+	switch {
+	case err != nil:
+		r.job.State = StateFailed
+		r.job.Err = err.Error()
+	case r.cancelReq:
+		r.job.State = StateCanceled
+	default:
+		r.job.State = StateDone
+	}
+	o.running = 0
+	o.publish()
+	o.kick()
+}
+
+// gate is the step boundary for paced jobs: it observes cancel requests,
+// parks the continuation while paused, and otherwise proceeds.
+func (o *Orchestrator) gate(r *jobRun, cont func()) {
+	if r.cancelReq {
+		o.finish(r, nil)
+		return
+	}
+	if r.job.State == StatePaused {
+		r.parked = cont
+		return
+	}
+	cont()
+}
+
+// execImmediate runs crash/set-failed synchronously at submit time.
+// Crash must kill in-flight commands, so it cannot be an event behind
+// them in the queue.
+func (o *Orchestrator) execImmediate(r *jobRun) {
+	var err error
+	switch r.job.Kind {
+	case KindCrash:
+		err = o.p.Crash()
+	case KindSetFailed:
+		if o.p.BIZA == nil {
+			err = fmt.Errorf("admin: degraded mode requires a BIZA platform: %w", storerr.ErrNotSupported)
+		} else {
+			err = o.p.BIZA.SetDeviceFailed(r.job.Params.Device, r.job.Params.Failed)
+		}
+	}
+	r.job.Progress = Progress{Done: 1, Total: 1}
+	o.finish(r, err)
+}
+
+func (o *Orchestrator) exec(r *jobRun) {
+	switch r.job.Kind {
+	case KindReplace:
+		o.execReplace(r)
+	case KindScrub:
+		o.execScrub(r)
+	case KindRecover:
+		o.p.Recover(func(err error) { o.finish(r, err) })
+	case KindVolumeResize, KindVolumeDelete:
+		o.execVolume(r)
+	}
+}
+
+func (o *Orchestrator) execReplace(r *jobRun) {
+	p := r.job.Params
+	ctl := core.RebuildControl{
+		StripesPerStep: p.StripesPerStep,
+		StepGap:        sim.Time(p.StepGapNanos),
+		OnProgress: func(done, total int) {
+			r.job.Progress = Progress{Done: int64(done), Total: int64(total), Detail: "stripes"}
+			o.publish()
+		},
+		Gate: func(next func()) { o.gate(r, next) },
+	}
+	o.p.ReplaceDevicePaced(r.job.Params.Device, ctl, func(err error) { o.finish(r, err) })
+}
+
+func (o *Orchestrator) execScrub(r *jobRun) {
+	dev := o.p.Dev
+	if dev == nil {
+		o.finish(r, fmt.Errorf("admin: %s has no block front-end to scrub: %w", o.p.Kind, storerr.ErrNotSupported))
+		return
+	}
+	per := r.job.Params.BlocksPerStep
+	if per <= 0 {
+		per = 1024
+	}
+	gap := sim.Time(r.job.Params.GapNanos)
+	total := dev.Blocks()
+	r.job.Progress = Progress{Total: total, Detail: "blocks"}
+	var lba int64
+	var unreadable int64
+	var step func()
+	step = func() {
+		n := per
+		if rem := total - lba; int64(n) > rem {
+			n = int(rem)
+		}
+		at := lba
+		dev.Read(at, n, func(res blockdev.ReadResult) {
+			if res.Err != nil {
+				unreadable += int64(n)
+			}
+			lba = at + int64(n)
+			r.job.Progress.Done = lba
+			o.publish()
+			if lba >= total {
+				if unreadable > 0 {
+					o.finish(r, fmt.Errorf("admin: scrub found %d unreadable blocks: %w", unreadable, storerr.ErrUnreadable))
+				} else {
+					o.finish(r, nil)
+				}
+				return
+			}
+			next := func() { o.gate(r, step) }
+			if gap > 0 {
+				o.eng.After(gap, next)
+			} else {
+				next()
+			}
+		})
+	}
+	step()
+}
+
+func (o *Orchestrator) execVolume(r *jobRun) {
+	var vm *volume.Manager
+	if o.vols != nil {
+		vm = o.vols()
+	}
+	if vm == nil {
+		o.finish(r, fmt.Errorf("admin: no volume manager configured: %w", storerr.ErrNotSupported))
+		return
+	}
+	var err error
+	switch r.job.Kind {
+	case KindVolumeResize:
+		err = vm.Resize(r.job.Params.Volume, r.job.Params.NewBlocks)
+	case KindVolumeDelete:
+		err = vm.Delete(r.job.Params.Volume)
+	}
+	r.job.Progress = Progress{Done: 1, Total: 1}
+	o.finish(r, err)
+}

@@ -37,20 +37,25 @@ type Scale struct {
 	// Tenant sizing (the multi-tenant QoS-isolation experiment).
 	TenantArrays int // arrays partitioned across engine shards
 	Tenants      int // tenant volumes per array (1 aggressor + mixed classes)
+
+	// Rolling sizing (the rolling-replacement availability experiment).
+	RollingArrays int // arrays partitioned across engine shards
 }
 
 // DefaultScale is used by the committed EXPERIMENTS.md results.
 func DefaultScale() Scale {
 	return Scale{Duration: 50 * sim.Millisecond, TraceOps: 60000, Warmup: 64 << 20,
 		FleetArrays: 192, FleetClients: 3072,
-		TenantArrays: 12, Tenants: 32}
+		TenantArrays: 12, Tenants: 32,
+		RollingArrays: 8}
 }
 
 // QuickScale runs every experiment in seconds (CI smoke).
 func QuickScale() Scale {
 	return Scale{Duration: 4 * sim.Millisecond, TraceOps: 4000, Warmup: 1 << 20,
 		FleetArrays: 16, FleetClients: 192,
-		TenantArrays: 2, Tenants: 24}
+		TenantArrays: 2, Tenants: 24,
+		RollingArrays: 2}
 }
 
 // DefaultSeed is the base seed of the committed EXPERIMENTS.md run.
@@ -346,7 +351,8 @@ func registerPoints(id string, points []string, fn func(Scale, *Run, string) []*
 func IDs() []string {
 	order := []string{"table2", "table3", "table6", "fig4", "fig5", "fig10",
 		"fig11", "fig12", "fig13a", "fig13b", "fig14", "fig15", "fig16", "fig17",
-		"detect", "batching", "wear", "append", "avail", "fleet", "tenants", "future"}
+		"detect", "batching", "wear", "append", "avail", "fleet", "tenants",
+		"rolling", "future"}
 	var out []string
 	for _, id := range order {
 		if _, ok := Experiments[id]; ok {

@@ -19,7 +19,7 @@ var ErrUnrecoverable = errors.New("core: chunk unrecoverable (stripe incomplete)
 // reconstruct from the surviving stripe members (degraded mode).
 func (c *Core) SetDeviceFailed(dev int, failed bool) error {
 	if dev < 0 || dev >= len(c.devs) {
-		return fmt.Errorf("core: device %d out of range", dev)
+		return fmt.Errorf("core: device %d out of range: %w", dev, storerr.ErrNotFound)
 	}
 	c.failed[dev] = failed
 	return nil
@@ -138,7 +138,7 @@ func (c *Core) Read(lba int64, nblocks int, done func(blockdev.ReadResult)) {
 	for _, i := range degraded {
 		i := i
 		c.reconstructChunk(lba+i, func(data []byte, err error) {
-			if data != nil {
+			if data != nil && buf != nil {
 				copy(buf[i*bs:], data)
 			}
 			finishOne(err)

@@ -540,7 +540,12 @@ func (c *Core) issueParity(st *openStripe, se *smtEntry, class Class, seq uint64
 			}
 		}
 		c.parityBytes += uint64(c.blockSize)
-		inWindow := pzs != nil && !pzs.sealedF && ppa.off >= pzs.devWP(c.zrwaBlocks)
+		// The slot must still belong to this stripe: a device replacement
+		// swaps in a fresh devState whose zones know nothing of slots
+		// handed out before the swap, and an in-place write through such a
+		// stale placement would corrupt the fresh zone's write pointer.
+		inWindow := pzs != nil && !pzs.sealedF && pzs.rmapSN[ppa.off] == st.sn &&
+			ppa.off >= pzs.devWP(c.zrwaBlocks)
 		if inWindow {
 			pds.submitChunk(pzs, schedOp{
 				off: ppa.off, inplace: wasWritten, data: parityData,

@@ -20,6 +20,7 @@ import (
 	"biza/internal/obs"
 	"biza/internal/raizn"
 	"biza/internal/sim"
+	"biza/internal/storerr"
 	"biza/internal/zapraid"
 	"biza/internal/zns"
 	"biza/internal/zoneapi"
@@ -575,9 +576,18 @@ func (p *Platform) installBIZA(c *core.Core) {
 // rebuild completes. The spare sits outside the fault plan (its injector,
 // if any, is dropped). BIZA platforms only.
 func (p *Platform) ReplaceDevice(dev int, done func(error)) {
+	p.ReplaceDevicePaced(dev, core.RebuildControl{}, done)
+}
+
+// ReplaceDevicePaced is ReplaceDevice with the rebuild throttled by ctl
+// (see core.RebuildControl): the admin orchestrator uses it to trade
+// rebuild rate against foreground tail latency.
+func (p *Platform) ReplaceDevicePaced(dev int, ctl core.RebuildControl, done func(error)) {
 	if p.BIZA == nil {
 		if done != nil {
-			p.Eng.After(0, func() { done(fmt.Errorf("stack: %s cannot rebuild", p.Kind)) })
+			p.Eng.After(0, func() {
+				done(fmt.Errorf("stack: %s cannot rebuild: %w", p.Kind, storerr.ErrNotSupported))
+			})
 		}
 		return
 	}
@@ -606,8 +616,16 @@ func (p *Platform) ReplaceDevice(dev int, done func(error)) {
 	if dev >= 0 && dev < len(p.queues) {
 		p.queues[dev] = nq
 	}
-	p.BIZA.ReplaceDevice(dev, nq, done)
+	p.BIZA.ReplaceDevicePaced(dev, nq, ctl, done)
 }
+
+// Replacements reports how many device replacements the platform has
+// started (auto-replace plus explicit admin jobs).
+func (p *Platform) Replacements() uint64 { return p.replacements }
+
+// Recoveries reports how many crash-recovery cycles have completed or
+// are in flight.
+func (p *Platform) Recoveries() uint64 { return p.recoveries }
 
 // Crash models a host power loss: every member driver queue dies with its
 // in-flight commands, and every device drops write-buffer contents that
@@ -616,10 +634,10 @@ func (p *Platform) ReplaceDevice(dev int, done func(error)) {
 // platforms only.
 func (p *Platform) Crash() error {
 	if p.BIZA == nil {
-		return fmt.Errorf("stack: %s cannot crash-recover", p.Kind)
+		return fmt.Errorf("stack: %s cannot crash-recover: %w", p.Kind, storerr.ErrNotSupported)
 	}
 	if p.crashed {
-		return fmt.Errorf("stack: already crashed")
+		return fmt.Errorf("stack: already crashed: %w", storerr.ErrWrongState)
 	}
 	p.crashed = true
 	for _, q := range p.queues {
@@ -652,11 +670,11 @@ func (p *Platform) Recover(done func(error)) {
 		}
 	}
 	if p.BIZA == nil {
-		fail(fmt.Errorf("stack: %s cannot crash-recover", p.Kind))
+		fail(fmt.Errorf("stack: %s cannot crash-recover: %w", p.Kind, storerr.ErrNotSupported))
 		return
 	}
 	if !p.crashed {
-		fail(fmt.Errorf("stack: not crashed"))
+		fail(fmt.Errorf("stack: not crashed: %w", storerr.ErrWrongState))
 		return
 	}
 	p.recoveries++

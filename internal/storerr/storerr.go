@@ -59,6 +59,28 @@ var (
 	// ErrCrashed reports an operation on an array whose power was cut;
 	// call Recover first.
 	ErrCrashed = errors.New("array crashed; recover first")
+
+	// ErrNotFound reports a lookup of an object that does not exist: an
+	// unknown volume name, an admin job id never issued, a member index
+	// beyond the array. Admin surfaces map it to HTTP 404.
+	ErrNotFound = errors.New("not found")
+
+	// ErrExists reports creation of an object whose name is already taken
+	// (e.g. opening a volume twice). Maps to HTTP 409.
+	ErrExists = errors.New("already exists")
+
+	// ErrNoSpace reports an allocation that exceeds remaining capacity, or
+	// a volume grow with no contiguous free range. Maps to HTTP 409.
+	ErrNoSpace = errors.New("insufficient space")
+
+	// ErrBusy reports an operation refused because the object has work in
+	// flight (deleting a volume with queued I/O, cancelling a rebuild that
+	// already dissolved stripes). Retry once the object quiesces.
+	ErrBusy = errors.New("resource busy")
+
+	// ErrNotSupported reports an operation the platform kind cannot
+	// perform (crash-recovery or rebuild on a non-BIZA stack).
+	ErrNotSupported = errors.New("operation not supported")
 )
 
 // Reconstructable reports whether err is a permanent device-side failure

@@ -1,0 +1,145 @@
+package volume
+
+import (
+	"errors"
+	"testing"
+
+	"biza/internal/storerr"
+)
+
+// TestDeleteReclaimsRange: a deleted volume's extent is trimmed, counted
+// free again, and reusable by a later open.
+func TestDeleteReclaimsRange(t *testing.T) {
+	_, _, m := newManager(t, 1000, Config{})
+	a, _ := m.Open("a", Options{Blocks: 400})
+	if _, err := m.Open("b", Options{Blocks: 600}); err != nil {
+		t.Fatal(err)
+	}
+	if free := m.FreeBlocks(); free != 0 {
+		t.Fatalf("free = %d, want 0", free)
+	}
+	if err := m.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Volumes() != 1 {
+		t.Fatalf("volumes = %d, want 1", m.Volumes())
+	}
+	if free := m.FreeBlocks(); free != 400 {
+		t.Fatalf("free after delete = %d, want 400", free)
+	}
+	// The freed extent is below b's range; a new volume must land in it.
+	c, err := m.Open("c", Options{Blocks: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.base != 0 {
+		t.Fatalf("c.base = %d, want 0 (reused extent)", c.base)
+	}
+	// The deleted handle refuses I/O.
+	if err := a.WriteSync(0, 1, nil); !errors.Is(err, storerr.ErrNotFound) {
+		t.Fatalf("write on deleted volume: err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestDeleteRetractsFrontier: freeing the last volume rolls the
+// allocation frontier back so the space is contiguous again.
+func TestDeleteRetractsFrontier(t *testing.T) {
+	_, _, m := newManager(t, 1000, Config{})
+	m.Open("a", Options{Blocks: 300})
+	m.Open("b", Options{Blocks: 300})
+	if err := m.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if m.nextLB != 300 || len(m.free) != 0 {
+		t.Fatalf("nextLB = %d free = %v, want frontier retracted to 300", m.nextLB, m.free)
+	}
+	// A delete of a, now frontier-adjacent through coalescing, retracts
+	// fully.
+	if err := m.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if m.nextLB != 0 || len(m.free) != 0 {
+		t.Fatalf("nextLB = %d free = %v, want empty array", m.nextLB, m.free)
+	}
+}
+
+// TestResizeGrowAndShrink exercises in-place growth (frontier and
+// adjacent-extent) and tail-shrink reclamation.
+func TestResizeGrowAndShrink(t *testing.T) {
+	_, _, m := newManager(t, 1000, Config{})
+	a, _ := m.Open("a", Options{Blocks: 200})
+	// Frontier growth.
+	if err := m.Resize("a", 300); err != nil {
+		t.Fatal(err)
+	}
+	if a.Blocks() != 300 || m.nextLB != 300 {
+		t.Fatalf("blocks = %d nextLB = %d, want 300/300", a.Blocks(), m.nextLB)
+	}
+	b, _ := m.Open("b", Options{Blocks: 200})
+	// a is now boxed in by b: growth must fail even with frontier space.
+	if err := m.Resize("a", 400); !errors.Is(err, storerr.ErrNoSpace) {
+		t.Fatalf("boxed-in grow: err = %v, want ErrNoSpace", err)
+	}
+	// Shrink b, then grow it back into its own reclaimed tail.
+	if err := m.Resize("b", 100); err != nil {
+		t.Fatal(err)
+	}
+	if free := m.FreeBlocks(); free != 600 {
+		t.Fatalf("free after shrink = %d, want 600", free)
+	}
+	if err := m.Resize("b", 250); err != nil {
+		t.Fatal(err)
+	}
+	if b.Blocks() != 250 {
+		t.Fatalf("b.Blocks() = %d, want 250", b.Blocks())
+	}
+	// Delete a; b can still not grow left (extents grow right only), but
+	// a fresh open fits in a's old range.
+	if err := m.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Open("c", Options{Blocks: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.base != 0 {
+		t.Fatalf("c.base = %d, want 0", c.base)
+	}
+}
+
+// TestVolumeErrorSentinels pins the errors.Is contract for the manager's
+// mutating surface.
+func TestVolumeErrorSentinels(t *testing.T) {
+	eng, _, m := newManager(t, 1000, Config{})
+	if _, err := m.Open("x", Options{Blocks: 0}); !errors.Is(err, storerr.ErrBadArgument) {
+		t.Fatalf("zero-capacity open: err = %v, want ErrBadArgument", err)
+	}
+	v, _ := m.Open("v", Options{Blocks: 100})
+	if _, err := m.Open("v", Options{Blocks: 100}); !errors.Is(err, storerr.ErrExists) {
+		t.Fatalf("duplicate open: err = %v, want ErrExists", err)
+	}
+	if _, err := m.Open("big", Options{Blocks: 10000}); !errors.Is(err, storerr.ErrNoSpace) {
+		t.Fatalf("oversize open: err = %v, want ErrNoSpace", err)
+	}
+	if err := m.Resize("ghost", 10); !errors.Is(err, storerr.ErrNotFound) {
+		t.Fatalf("resize unknown: err = %v, want ErrNotFound", err)
+	}
+	if err := m.Delete("ghost"); !errors.Is(err, storerr.ErrNotFound) {
+		t.Fatalf("delete unknown: err = %v, want ErrNotFound", err)
+	}
+	if err := m.Resize("v", 0); !errors.Is(err, storerr.ErrBadArgument) {
+		t.Fatalf("resize to zero: err = %v, want ErrBadArgument", err)
+	}
+	// A volume with queued I/O refuses shrink and delete.
+	v.Write(0, 4, nil, nil)
+	if err := m.Resize("v", 50); !errors.Is(err, storerr.ErrBusy) {
+		t.Fatalf("busy shrink: err = %v, want ErrBusy", err)
+	}
+	if err := m.Delete("v"); !errors.Is(err, storerr.ErrBusy) {
+		t.Fatalf("busy delete: err = %v, want ErrBusy", err)
+	}
+	eng.Run()
+	if err := m.Delete("v"); err != nil {
+		t.Fatalf("quiesced delete: %v", err)
+	}
+}
