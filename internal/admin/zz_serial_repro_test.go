@@ -1,0 +1,43 @@
+package admin_test
+
+import (
+	"testing"
+
+	"biza/internal/admin"
+	"biza/internal/blockdev"
+	"biza/internal/stack"
+)
+
+func TestImmediateDuringRunningRepro(t *testing.T) {
+	p, err := stack.New(stack.KindBIZA, stack.Options{ZNS: stack.BenchZNS(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := admin.New(p)
+	blk := make([]byte, 8*p.Dev.BlockSize())
+	for lba := int64(0); lba < 512; lba += 8 {
+		p.Dev.Write(lba, 8, blk, func(res blockdev.WriteResult) {})
+	}
+	p.Eng.Run()
+
+	id1, _ := orc.Submit(admin.KindReplace, admin.Params{Device: 0, StripesPerStep: 1, StepGapNanos: 1_000_000})
+	id2, _ := orc.Submit(admin.KindReplace, admin.Params{Device: 1, StripesPerStep: 1, StepGapNanos: 1_000_000})
+	p.Eng.RunUntil(p.Eng.Now() + 10_000)
+	j1, _ := orc.Job(id1)
+	j2, _ := orc.Job(id2)
+	t.Logf("before immediate: job1=%s job2=%s", j1.State, j2.State)
+	if j1.State != admin.StateRunning {
+		t.Skipf("job1 not running yet (%s); repro setup off", j1.State)
+	}
+	orc.Submit(admin.KindSetFailed, admin.Params{Device: 2, Failed: false})
+	j1, _ = orc.Job(id1)
+	j2, _ = orc.Job(id2)
+	t.Logf("after immediate: job1=%s job2=%s", j1.State, j2.State)
+	if j1.State == admin.StateRunning && j2.State == admin.StateRunning {
+		t.Errorf("two replace jobs running concurrently: serial-queue invariant broken")
+	}
+	p.Eng.Run()
+	j1, _ = orc.Job(id1)
+	j2, _ = orc.Job(id2)
+	t.Logf("final: job1=%s err=%q  job2=%s err=%q", j1.State, j1.Err, j2.State, j2.Err)
+}
